@@ -1,0 +1,51 @@
+//! §5.1.3 ablation: hash join vs merge join vs nested-loop join at the
+//! operator level, on equal inputs — the cost-model crossover the paper
+//! derives analytically (Eq. 8/9) measured on the real operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+
+fn cluster_with(rows: usize) -> Cluster {
+    let c = Cluster::new(ClusterConfig {
+        sites: 1,
+        variant: SystemVariant::ICPlus,
+        network: ic_core::NetworkConfig::instant(),
+        ..ClusterConfig::test_default()
+    });
+    c.run("CREATE TABLE l (k BIGINT, v BIGINT, PRIMARY KEY (k))").unwrap();
+    c.run("CREATE TABLE r (k BIGINT, v BIGINT, PRIMARY KEY (k))").unwrap();
+    let data = |n: usize| -> Vec<Row> {
+        (0..n as i64).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 100)])).collect()
+    };
+    c.insert("l", data(rows)).unwrap();
+    c.insert("r", data(rows / 4)).unwrap();
+    c.analyze_all().unwrap();
+    c
+}
+
+/// Join via the three execution paths: the equi join (hash join in IC+),
+/// the same equi join on the baseline (merge join), and a theta join that
+/// forces nested loops everywhere.
+fn bench_join_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_algorithms");
+    group.sample_size(10);
+    for &rows in &[4_000usize, 16_000] {
+        let plus = cluster_with(rows);
+        let base = plus.with_variant(SystemVariant::IC);
+        let equi = "SELECT count(*) FROM l, r WHERE l.k = r.k";
+        group.bench_with_input(BenchmarkId::new("hash_join(IC+)", rows), &rows, |b, _| {
+            b.iter(|| plus.query(equi).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("merge_join(IC)", rows), &rows, |b, _| {
+            b.iter(|| base.query(equi).unwrap())
+        });
+        let theta = "SELECT count(*) FROM l, r WHERE l.k = r.k AND l.v <> r.v";
+        group.bench_with_input(BenchmarkId::new("equi_plus_residual(IC+)", rows), &rows, |b, _| {
+            b.iter(|| plus.query(theta).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §5.3 ablation: variant-fragment scaling — the same distributed
+//! aggregation executed with 1 (IC+) and 2 (IC+M) variants per fragment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+
+fn bench_variant_fragments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variant_fragments");
+    group.sample_size(10);
+    let plus = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant: SystemVariant::ICPlus,
+        network: ic_core::NetworkConfig::instant(),
+        ..ClusterConfig::test_default()
+    });
+    plus.run("CREATE TABLE f (k BIGINT, g BIGINT, v DOUBLE, PRIMARY KEY (k))").unwrap();
+    let rows: Vec<Row> = (0..200_000)
+        .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 64), Datum::Double((i % 997) as f64)]))
+        .collect();
+    plus.insert("f", rows).unwrap();
+    plus.analyze_all().unwrap();
+    let multi = plus.with_variant(SystemVariant::ICPlusM);
+    let sql = "SELECT g, sum(v), count(*) FROM f GROUP BY g";
+    group.bench_with_input(BenchmarkId::new("agg", "IC+ (1 variant)"), &1, |b, _| {
+        b.iter(|| plus.query(sql).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("agg", "IC+M (2 variants)"), &2, |b, _| {
+        b.iter(|| multi.query(sql).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variant_fragments);
+criterion_main!(benches);

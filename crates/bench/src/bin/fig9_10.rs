@@ -1,0 +1,39 @@
+//! Figures 9 & 10 — "Multithreading Incremental Performance Difference":
+//! IC+ vs IC+M on 4 sites (Figure 9) and 8 sites (Figure 10), reported as
+//! the percentage change multithreading contributes on top of IC+.
+
+use ic_bench::{mean_times, sweep_tpch};
+use ic_core::SystemVariant;
+
+fn main() {
+    let queries: Vec<usize> = (1..=22)
+        .filter(|q| !ic_benchdata::tpch::EXCLUDED_UNSUPPORTED.contains(q))
+        .collect();
+    let sites = [4usize, 8];
+    let points =
+        sweep_tpch(&sites, &[SystemVariant::ICPlus, SystemVariant::ICPlusM], &queries);
+    let means = mean_times(&points);
+    for (fig, s) in [("Figure 9", 4usize), ("Figure 10", 8)] {
+        println!("\n=== {fig}: IC+ vs IC+M ({s} sites) — incremental effect of multithreading ===");
+        println!("{:<6} {:>10} {:>10} {:>9}", "query", "IC+ (ms)", "IC+M (ms)", "change");
+        for &q in &queries {
+            let b = means.get(&(q, SystemVariant::ICPlus, s)).copied().flatten();
+            let n = means.get(&(q, SystemVariant::ICPlusM, s)).copied().flatten();
+            match (b, n) {
+                (Some(b), Some(n)) => {
+                    let pct = (b.as_secs_f64() / n.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+                    println!(
+                        "Q{q:02}    {:>10.1} {:>10.1} {:>+8.1}%",
+                        b.as_secs_f64() * 1000.0,
+                        n.as_secs_f64() * 1000.0,
+                        pct
+                    );
+                }
+                _ => println!("Q{q:02}    {:>10} {:>10} {:>9}", "DNF", "DNF", "-"),
+            }
+        }
+        println!("(positive = multithreading helped; the paper reports +15–35% for");
+        println!(" distributed-computation-heavy queries and slight regressions for");
+        println!(" reduction-operator / root-fragment-bound queries)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Smoke runner: execute every TPC-H and SSB query on one variant and
+//! print outcome + row counts. Used during development and as the fastest
+//! way to sanity-check the full stack:
+//! `cargo run --release -p ic-bench --bin smoke [sf] [variant]`
+
+use ic_bench::{load_ssb, load_tpch, measure_query};
+use ic_core::{Cluster, ClusterConfig, SystemVariant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let variant = match args.get(2).map(|s| s.as_str()) {
+        Some("ic") => SystemVariant::IC,
+        Some("icm") | Some("ic+m") => SystemVariant::ICPlusM,
+        _ => SystemVariant::ICPlus,
+    };
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant,
+        exec_timeout: Some(std::time::Duration::from_secs(20)),
+        ..ClusterConfig::default()
+    });
+    println!("== TPC-H sf={sf} variant={} ==", variant.label());
+    load_tpch(&cluster, sf, 42).expect("load tpch");
+    for q in 1..=22 {
+        let sql = ic_benchdata::tpch::query(q);
+        let t0 = std::time::Instant::now();
+        let (outcome, rows) = measure_query(&cluster, &sql, 1);
+        println!("Q{q:02}: {} ({rows} rows, wall {:?})", outcome.label(), t0.elapsed());
+    }
+
+    let ssb = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant,
+        exec_timeout: Some(std::time::Duration::from_secs(20)),
+        ..ClusterConfig::default()
+    });
+    println!("== SSB sf={sf} variant={} ==", variant.label());
+    load_ssb(&ssb, sf, 42).expect("load ssb");
+    for (id, sql) in ic_benchdata::ssb::QUERIES {
+        let t0 = std::time::Instant::now();
+        let (outcome, rows) = measure_query(&ssb, sql, 1);
+        println!("{id}: {} ({rows} rows, wall {:?})", outcome.label(), t0.elapsed());
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness: data loading, measurement protocol (§6.1) and the
+//! multi-client AQL driver (§6.3). The binaries in `src/bin/` use these to
+//! regenerate each of the paper's tables and figures.
+
+pub mod aql;
+pub mod runner;
+pub mod harness;
+pub mod load;
+
+pub use aql::{run_aql, AqlConfig, AqlResult};
+pub use harness::{
+    repetitions, scale_factors,
+    geo_mean, measure_query, mean, MeasureOutcome, Measurement, DEFAULT_SCALE_FACTORS,
+};
+pub use load::{load_ssb, load_tpch};
+pub use runner::{calibrated_network, mean_times, print_speedup_figure, sweep_ssb, sweep_tpch, RunPoint};

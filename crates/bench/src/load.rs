@@ -1,0 +1,68 @@
+//! Load the TPC-H / SSB schemas, data and indexes into a cluster.
+
+use ic_core::{Cluster, IcResult};
+
+/// Create the TPC-H schema and indexes, generate and load data at `sf`,
+/// and analyze (statistics enabled, like the paper's configuration).
+pub fn load_tpch(cluster: &Cluster, sf: f64, seed: u64) -> IcResult<()> {
+    for ddl in ic_benchdata::tpch::DDL {
+        cluster.run(ddl)?;
+    }
+    for ddl in ic_benchdata::tpch::INDEX_DDL {
+        cluster.run(ddl)?;
+    }
+    for table in ic_benchdata::tpch::generate(sf, seed) {
+        cluster.insert(table.name, table.rows)?;
+    }
+    cluster.analyze_all()
+}
+
+/// Create the SSB schema and indexes, generate and load data at `sf`.
+pub fn load_ssb(cluster: &Cluster, sf: f64, seed: u64) -> IcResult<()> {
+    for ddl in ic_benchdata::ssb::DDL {
+        cluster.run(ddl)?;
+    }
+    for ddl in ic_benchdata::ssb::INDEX_DDL {
+        cluster.run(ddl)?;
+    }
+    for table in ic_benchdata::ssb::generate(sf, seed) {
+        cluster.insert(table.name, table.rows)?;
+    }
+    cluster.analyze_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::{ClusterConfig, SystemVariant};
+
+    #[test]
+    fn tpch_loads_and_counts() {
+        let cluster = Cluster::new(ClusterConfig {
+            sites: 2,
+            variant: SystemVariant::ICPlus,
+            ..ClusterConfig::test_default()
+        });
+        load_tpch(&cluster, 0.001, 42).unwrap();
+        assert_eq!(cluster.table_rows("region").unwrap(), 5);
+        assert_eq!(cluster.table_rows("nation").unwrap(), 25);
+        assert!(cluster.table_rows("lineitem").unwrap() > 1000);
+        let r = cluster.query("SELECT count(*) FROM lineitem").unwrap();
+        assert_eq!(
+            r.rows[0].0[0].as_int().unwrap() as usize,
+            cluster.table_rows("lineitem").unwrap()
+        );
+    }
+
+    #[test]
+    fn ssb_loads_and_counts() {
+        let cluster = Cluster::new(ClusterConfig {
+            sites: 2,
+            variant: SystemVariant::ICPlusM,
+            ..ClusterConfig::test_default()
+        });
+        load_ssb(&cluster, 0.001, 42).unwrap();
+        assert_eq!(cluster.table_rows("ddate").unwrap(), 2557);
+        assert!(cluster.table_rows("lineorder").unwrap() > 500);
+    }
+}

@@ -1,0 +1,71 @@
+//! Harness integration: a miniature AQL run completes, sweep helpers
+//! aggregate correctly, and the loaders round-trip both benchmarks.
+
+use ic_bench::aql::aql_query_set;
+use ic_bench::{load_tpch, run_aql, AqlConfig, MeasureOutcome};
+use ic_bench::runner::RunPoint;
+use ic_core::{Cluster, ClusterConfig, SystemVariant};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn mini_aql_run() {
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 2,
+        variant: SystemVariant::ICPlus,
+        network: ic_core::NetworkConfig::instant(),
+        ..ClusterConfig::test_default()
+    });
+    load_tpch(&cluster, 0.001, 42).unwrap();
+    let cluster = Arc::new(cluster);
+    let result = run_aql(
+        &cluster,
+        &AqlConfig {
+            clients: 2,
+            duration: Duration::from_millis(1500),
+            queries: aql_query_set(),
+            seed: 1,
+        },
+    );
+    assert!(result.completed > 0, "no queries completed");
+    assert!(result.mean_latency > Duration::ZERO);
+    // The AQL set avoids the baseline-failing queries, so nothing should
+    // fail on the improved system either.
+    assert_eq!(result.failed, 0, "{result:?}");
+}
+
+#[test]
+fn mean_times_marks_partial_failures() {
+    use ic_bench::mean_times;
+    let ok = |ms: u64| MeasureOutcome::Ok(Duration::from_millis(ms));
+    let points = vec![
+        RunPoint { sf: 0.01, sites: 4, variant: SystemVariant::IC, query: 1, outcome: ok(100) },
+        RunPoint { sf: 0.02, sites: 4, variant: SystemVariant::IC, query: 1, outcome: ok(300) },
+        RunPoint { sf: 0.01, sites: 4, variant: SystemVariant::IC, query: 2, outcome: ok(50) },
+        RunPoint {
+            sf: 0.02,
+            sites: 4,
+            variant: SystemVariant::IC,
+            query: 2,
+            outcome: MeasureOutcome::Timeout,
+        },
+    ];
+    let means = mean_times(&points);
+    // Q1 averages both scale factors.
+    assert_eq!(
+        means[&(1, SystemVariant::IC, 4)],
+        Some(Duration::from_millis(200))
+    );
+    // A query failing at any scale factor is failed overall (DNF).
+    assert_eq!(means[&(2, SystemVariant::IC, 4)], None);
+}
+
+#[test]
+fn calibrated_network_env_overrides() {
+    let default = ic_bench::calibrated_network();
+    assert_eq!(default.bandwidth_bytes_per_sec, 100_000_000);
+    std::env::set_var("IC_BENCH_NET_MBPS", "250");
+    let overridden = ic_bench::calibrated_network();
+    std::env::remove_var("IC_BENCH_NET_MBPS");
+    assert_eq!(overridden.bandwidth_bytes_per_sec, 250_000_000);
+}

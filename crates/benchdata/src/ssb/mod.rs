@@ -1,0 +1,240 @@
+//! Star Schema Benchmark: schema DDL, generator and the 13 queries (§6.4).
+
+pub mod queries;
+
+use crate::text::*;
+use crate::TableData;
+use ic_common::{dates, Datum, Row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use queries::{query, QUERIES, QUERY_IDS};
+
+/// SSB DDL: the LINEORDER fact table is partitioned; dimensions are
+/// replicated except CUSTOMER/PART (partitioned like the paper's setup).
+pub const DDL: &[&str] = &[
+    "CREATE TABLE ddate (d_datekey BIGINT, d_date VARCHAR, d_dayofweek VARCHAR, d_month VARCHAR, d_year BIGINT, d_yearmonthnum BIGINT, d_yearmonth VARCHAR, d_daynuminweek BIGINT, d_daynuminmonth BIGINT, d_monthnuminyear BIGINT, d_weeknuminyear BIGINT, d_sellingseason VARCHAR, PRIMARY KEY (d_datekey)) REPLICATED",
+    "CREATE TABLE customer (c_custkey BIGINT, c_name VARCHAR, c_address VARCHAR, c_city VARCHAR, c_nation VARCHAR, c_region VARCHAR, c_phone VARCHAR, c_mktsegment VARCHAR, PRIMARY KEY (c_custkey))",
+    "CREATE TABLE supplier (s_suppkey BIGINT, s_name VARCHAR, s_address VARCHAR, s_city VARCHAR, s_nation VARCHAR, s_region VARCHAR, s_phone VARCHAR, PRIMARY KEY (s_suppkey)) REPLICATED",
+    "CREATE TABLE part (p_partkey BIGINT, p_name VARCHAR, p_mfgr VARCHAR, p_category VARCHAR, p_brand1 VARCHAR, p_color VARCHAR, p_type VARCHAR, p_size BIGINT, p_container VARCHAR, PRIMARY KEY (p_partkey))",
+    "CREATE TABLE lineorder (lo_orderkey BIGINT, lo_linenumber BIGINT, lo_custkey BIGINT, lo_partkey BIGINT, lo_suppkey BIGINT, lo_orderdate BIGINT, lo_orderpriority VARCHAR, lo_shippriority BIGINT, lo_quantity BIGINT, lo_extendedprice DOUBLE, lo_ordtotalprice DOUBLE, lo_discount BIGINT, lo_revenue DOUBLE, lo_supplycost DOUBLE, lo_tax BIGINT, lo_commitdate BIGINT, lo_shipmode VARCHAR, PRIMARY KEY (lo_orderkey, lo_linenumber)) PARTITION BY HASH (lo_orderkey)",
+];
+
+/// The paper's nine SSB indexes: one per primary key plus four LINEORDER
+/// join columns (LO_ORDERDATE, LO_PARTKEY, LO_SUPPKEY, LO_CUSTKEY).
+pub const INDEX_DDL: &[&str] = &[
+    "CREATE INDEX ix_d_pk ON ddate (d_datekey)",
+    "CREATE INDEX ix_c_pk ON customer (c_custkey)",
+    "CREATE INDEX ix_s_pk ON supplier (s_suppkey)",
+    "CREATE INDEX ix_p_pk ON part (p_partkey)",
+    "CREATE INDEX ix_lo_pk ON lineorder (lo_orderkey, lo_linenumber)",
+    "CREATE INDEX ix_lo_orderdate ON lineorder (lo_orderdate)",
+    "CREATE INDEX ix_lo_partkey ON lineorder (lo_partkey)",
+    "CREATE INDEX ix_lo_suppkey ON lineorder (lo_suppkey)",
+    "CREATE INDEX ix_lo_custkey ON lineorder (lo_custkey)",
+];
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// SSB cardinalities at a scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    pub customers: i64,
+    pub suppliers: i64,
+    pub parts: i64,
+    pub orders: i64,
+}
+
+impl Sizes {
+    pub fn at(sf: f64) -> Sizes {
+        let scaled = |base: f64, min: i64| ((base * sf) as i64).max(min);
+        Sizes {
+            customers: scaled(30_000.0, 100),
+            suppliers: scaled(2_000.0, 20),
+            parts: scaled(200_000.0, 200),
+            orders: scaled(1_500_000.0, 500),
+        }
+    }
+}
+
+fn city_of(nation: &str, rng: &mut StdRng) -> String {
+    let prefix: String = nation.chars().take(9).collect();
+    format!("{prefix:<9}{}", rng.gen_range(0..10))
+}
+
+/// Generate the five SSB tables at `sf`, deterministically from `seed`.
+pub fn generate(sf: f64, seed: u64) -> Vec<TableData> {
+    let sizes = Sizes::at(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Date dimension: every day 1992-01-01 .. 1998-12-31.
+    let lo_day = dates::to_epoch_days(1992, 1, 1);
+    let hi_day = dates::to_epoch_days(1998, 12, 31);
+    let mut ddate = Vec::with_capacity((hi_day - lo_day + 1) as usize);
+    for d in lo_day..=hi_day {
+        let (y, m, dd) = dates::from_epoch_days(d);
+        let datekey = y as i64 * 10_000 + m as i64 * 100 + dd as i64;
+        let month = MONTHS[(m - 1) as usize];
+        ddate.push(Row(vec![
+            Datum::Int(datekey),
+            d_str(format!("{month} {dd}, {y}")),
+            d_str(["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"]
+                [((d - lo_day) % 7) as usize]),
+            d_str(month),
+            Datum::Int(y as i64),
+            Datum::Int(y as i64 * 100 + m as i64),
+            d_str(format!("{}{}", &month[..3], y)),
+            Datum::Int((d - lo_day) as i64 % 7 + 1),
+            Datum::Int(dd as i64),
+            Datum::Int(m as i64),
+            Datum::Int(((d - dates::to_epoch_days(y, 1, 1)) / 7 + 1) as i64),
+            d_str(if (6..=8).contains(&m) { "Summer" } else { "Christmas" }),
+        ]));
+    }
+
+    let customer: Vec<Row> = (1..=sizes.customers)
+        .map(|k| {
+            let (nation, region) = NATIONS[rng.gen_range(0..NATIONS.len())];
+            Row(vec![
+                Datum::Int(k),
+                d_str(format!("Customer#{k:09}")),
+                d_str(format!("addr {k}")),
+                d_str(city_of(nation, &mut rng)),
+                d_str(nation),
+                d_str(REGIONS[region]),
+                d_str(phone(&mut rng, region as i64)),
+                d_str(pick(&mut rng, SEGMENTS)),
+            ])
+        })
+        .collect();
+
+    let supplier: Vec<Row> = (1..=sizes.suppliers)
+        .map(|k| {
+            let (nation, region) = NATIONS[rng.gen_range(0..NATIONS.len())];
+            Row(vec![
+                Datum::Int(k),
+                d_str(format!("Supplier#{k:09}")),
+                d_str(format!("addr {k}")),
+                d_str(city_of(nation, &mut rng)),
+                d_str(nation),
+                d_str(REGIONS[region]),
+                d_str(phone(&mut rng, region as i64)),
+            ])
+        })
+        .collect();
+
+    let part: Vec<Row> = (1..=sizes.parts)
+        .map(|k| {
+            let mfgr = rng.gen_range(1..=5);
+            let cat = rng.gen_range(1..=5);
+            let brand = rng.gen_range(1..=40);
+            Row(vec![
+                Datum::Int(k),
+                d_str(format!("{} {}", pick(&mut rng, COLORS), pick(&mut rng, COLORS))),
+                d_str(format!("MFGR#{mfgr}")),
+                d_str(format!("MFGR#{mfgr}{cat}")),
+                d_str(format!("MFGR#{mfgr}{cat}{brand:02}")),
+                d_str(pick(&mut rng, COLORS)),
+                d_str(format!(
+                    "{} {} {}",
+                    pick(&mut rng, TYPE_S1),
+                    pick(&mut rng, TYPE_S2),
+                    pick(&mut rng, TYPE_S3)
+                )),
+                Datum::Int(rng.gen_range(1..=50)),
+                d_str(format!("{} {}", pick(&mut rng, CONTAINER_S1), pick(&mut rng, CONTAINER_S2))),
+            ])
+        })
+        .collect();
+
+    let mut lineorder = Vec::with_capacity((sizes.orders * 4) as usize);
+    for o in 1..=sizes.orders {
+        let custkey = rng.gen_range(1..=sizes.customers);
+        let orderdate_days = rng.gen_range(lo_day..=hi_day - 90);
+        let (y, m, dd) = dates::from_epoch_days(orderdate_days);
+        let orderdate = y as i64 * 10_000 + m as i64 * 100 + dd as i64;
+        let lines = rng.gen_range(1..=7i64);
+        let ordtotal = money(&mut rng, 1000.0, 500_000.0);
+        for ln in 1..=lines {
+            let partkey = rng.gen_range(1..=sizes.parts);
+            let qty = rng.gen_range(1..=50i64);
+            let price = money(&mut rng, 900.0, 105_000.0 / 50.0 * 10.0);
+            let discount = rng.gen_range(0..=10i64);
+            let revenue = price * (100 - discount) as f64 / 100.0;
+            let commit_days = orderdate_days + rng.gen_range(30..=90);
+            let (cy, cm, cd) = dates::from_epoch_days(commit_days);
+            lineorder.push(Row(vec![
+                Datum::Int(o),
+                Datum::Int(ln),
+                Datum::Int(custkey),
+                Datum::Int(partkey),
+                Datum::Int(rng.gen_range(1..=sizes.suppliers)),
+                Datum::Int(orderdate),
+                d_str(pick(&mut rng, PRIORITIES)),
+                Datum::Int(0),
+                Datum::Int(qty),
+                Datum::Double(price),
+                Datum::Double(ordtotal),
+                Datum::Int(discount),
+                Datum::Double((revenue * 100.0).round() / 100.0),
+                Datum::Double(money(&mut rng, 1.0, 1000.0)),
+                Datum::Int(rng.gen_range(0..=8)),
+                Datum::Int(cy as i64 * 10_000 + cm as i64 * 100 + cd as i64),
+                d_str(pick(&mut rng, SHIP_MODES)),
+            ]));
+        }
+    }
+
+    vec![
+        TableData { name: "ddate", rows: ddate },
+        TableData { name: "customer", rows: customer },
+        TableData { name: "supplier", rows: supplier },
+        TableData { name: "part", rows: part },
+        TableData { name: "lineorder", rows: lineorder },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_dimension_complete() {
+        let data = generate(0.001, 1);
+        let ddate = &data[0];
+        assert_eq!(ddate.name, "ddate");
+        // 1992..1998 inclusive = 2557 days (1992 and 1996 are leap years).
+        assert_eq!(ddate.rows.len(), 2557);
+        // Date keys are yyyymmdd.
+        let first = ddate.rows[0].0[0].as_int().unwrap();
+        assert_eq!(first, 19920101);
+        // d_yearmonth like 'Jan1992'.
+        assert_eq!(ddate.rows[0].0[6].as_str().unwrap(), "Jan1992");
+    }
+
+    #[test]
+    fn lineorder_keys_in_range() {
+        let data = generate(0.001, 2);
+        let sizes = Sizes::at(0.001);
+        let lo = data.iter().find(|t| t.name == "lineorder").unwrap();
+        for r in lo.rows.iter().take(500) {
+            assert!(r.0[2].as_int().unwrap() <= sizes.customers);
+            assert!(r.0[3].as_int().unwrap() <= sizes.parts);
+            assert!(r.0[4].as_int().unwrap() <= sizes.suppliers);
+            let d = r.0[5].as_int().unwrap();
+            assert!((19920101..=19981231).contains(&d), "{d}");
+            assert_eq!(r.arity(), 17);
+        }
+    }
+
+    #[test]
+    fn city_format_matches_queries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = city_of("UNITED KINGDOM", &mut rng);
+        assert_eq!(c.len(), 10);
+        assert!(c.starts_with("UNITED KI"), "{c}");
+    }
+}

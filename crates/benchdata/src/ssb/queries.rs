@@ -1,0 +1,160 @@
+//! The 13 Star Schema Benchmark queries (four parameterized query sets).
+//!
+//! Query sets two and four (QS2, QS4) are included for completeness; the
+//! paper excludes them because Calcite's search space explodes on them
+//! (§6.4) — the harness reproduces that by running them under the planner
+//! budget and reporting the failure.
+
+/// Query identifiers in paper order.
+pub const QUERY_IDS: &[&str] = &[
+    "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1",
+    "Q4.2", "Q4.3",
+];
+
+/// All queries as (id, sql) pairs.
+pub const QUERIES: &[(&str, &str)] = &[
+    (
+        "Q1.1",
+        "select sum(lo_extendedprice * lo_discount) as revenue \
+         from lineorder, ddate \
+         where lo_orderdate = d_datekey and d_year = 1993 \
+         and lo_discount between 1 and 3 and lo_quantity < 25",
+    ),
+    (
+        "Q1.2",
+        "select sum(lo_extendedprice * lo_discount) as revenue \
+         from lineorder, ddate \
+         where lo_orderdate = d_datekey and d_yearmonthnum = 199401 \
+         and lo_discount between 4 and 6 and lo_quantity between 26 and 35",
+    ),
+    (
+        "Q1.3",
+        "select sum(lo_extendedprice * lo_discount) as revenue \
+         from lineorder, ddate \
+         where lo_orderdate = d_datekey and d_weeknuminyear = 6 and d_year = 1994 \
+         and lo_discount between 5 and 7 and lo_quantity between 26 and 35",
+    ),
+    (
+        "Q2.1",
+        "select sum(lo_revenue) as lo_rev, d_year, p_brand1 \
+         from lineorder, ddate, part, supplier \
+         where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+         and lo_suppkey = s_suppkey and p_category = 'MFGR#12' and s_region = 'AMERICA' \
+         group by d_year, p_brand1 order by d_year, p_brand1",
+    ),
+    (
+        "Q2.2",
+        "select sum(lo_revenue) as lo_rev, d_year, p_brand1 \
+         from lineorder, ddate, part, supplier \
+         where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+         and lo_suppkey = s_suppkey and p_brand1 between 'MFGR#2221' and 'MFGR#2228' \
+         and s_region = 'ASIA' group by d_year, p_brand1 order by d_year, p_brand1",
+    ),
+    (
+        "Q2.3",
+        "select sum(lo_revenue) as lo_rev, d_year, p_brand1 \
+         from lineorder, ddate, part, supplier \
+         where lo_orderdate = d_datekey and lo_partkey = p_partkey \
+         and lo_suppkey = s_suppkey and p_brand1 = 'MFGR#2239' and s_region = 'EUROPE' \
+         group by d_year, p_brand1 order by d_year, p_brand1",
+    ),
+    (
+        "Q3.1",
+        "select c_nation, s_nation, d_year, sum(lo_revenue) as lo_rev \
+         from customer, lineorder, supplier, ddate \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_orderdate = d_datekey and c_region = 'ASIA' and s_region = 'ASIA' \
+         and d_year >= 1992 and d_year <= 1997 \
+         group by c_nation, s_nation, d_year order by d_year asc, lo_rev desc",
+    ),
+    (
+        "Q3.2",
+        "select c_city, s_city, d_year, sum(lo_revenue) as lo_rev \
+         from customer, lineorder, supplier, ddate \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_orderdate = d_datekey and c_nation = 'UNITED STATES' \
+         and s_nation = 'UNITED STATES' and d_year >= 1992 and d_year <= 1997 \
+         group by c_city, s_city, d_year order by d_year asc, lo_rev desc",
+    ),
+    (
+        "Q3.3",
+        "select c_city, s_city, d_year, sum(lo_revenue) as lo_rev \
+         from customer, lineorder, supplier, ddate \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_orderdate = d_datekey \
+         and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') \
+         and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') \
+         and d_year >= 1992 and d_year <= 1997 \
+         group by c_city, s_city, d_year order by d_year asc, lo_rev desc",
+    ),
+    (
+        "Q3.4",
+        "select c_city, s_city, d_year, sum(lo_revenue) as lo_rev \
+         from customer, lineorder, supplier, ddate \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_orderdate = d_datekey \
+         and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') \
+         and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') \
+         and d_yearmonth = 'Dec1997' \
+         group by c_city, s_city, d_year order by d_year asc, lo_rev desc",
+    ),
+    (
+        "Q4.1",
+        "select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit \
+         from ddate, customer, supplier, part, lineorder \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+         and c_region = 'AMERICA' and s_region = 'AMERICA' \
+         and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') \
+         group by d_year, c_nation order by d_year, c_nation",
+    ),
+    (
+        "Q4.2",
+        "select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit \
+         from ddate, customer, supplier, part, lineorder \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+         and c_region = 'AMERICA' and s_region = 'AMERICA' \
+         and (d_year = 1997 or d_year = 1998) \
+         and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') \
+         group by d_year, s_nation, p_category order by d_year, s_nation, p_category",
+    ),
+    (
+        "Q4.3",
+        "select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit \
+         from ddate, customer, supplier, part, lineorder \
+         where lo_custkey = c_custkey and lo_suppkey = s_suppkey \
+         and lo_partkey = p_partkey and lo_orderdate = d_datekey \
+         and s_nation = 'UNITED STATES' and (d_year = 1997 or d_year = 1998) \
+         and p_category = 'MFGR#14' \
+         group by d_year, s_city, p_brand1 order by d_year, s_city, p_brand1",
+    ),
+];
+
+/// Look up a query by its id (e.g. `"Q3.2"`).
+pub fn query(id: &str) -> Option<&'static str> {
+    QUERIES.iter().find(|(qid, _)| *qid == id).map(|(_, sql)| *sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries() {
+        assert_eq!(QUERIES.len(), 13);
+        assert_eq!(QUERY_IDS.len(), 13);
+        for id in QUERY_IDS {
+            assert!(query(id).is_some(), "{id}");
+        }
+        assert!(query("Q9.9").is_none());
+    }
+
+    #[test]
+    fn query_sets_group_correctly() {
+        let qs1: Vec<_> = QUERY_IDS.iter().filter(|q| q.starts_with("Q1")).collect();
+        let qs4: Vec<_> = QUERY_IDS.iter().filter(|q| q.starts_with("Q4")).collect();
+        assert_eq!(qs1.len(), 3);
+        assert_eq!(qs4.len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared text pools and helpers for the data generators.
+
+use ic_common::Datum;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+pub const TYPE_S1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_S2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_S3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const CONTAINER_S1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINER_S2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+pub const SEGMENTS: &[&str] =
+    &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const SHIP_INSTRUCT: &[&str] =
+    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// The 25 TPC-H nations with their region assignment.
+pub const NATIONS: &[(&str, usize)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const FILLER_WORDS: &[&str] = &[
+    "carefully", "final", "deposits", "sleep", "quickly", "furiously", "ironic", "packages",
+    "bold", "accounts", "pending", "requests", "express", "instructions", "regular", "theodolites",
+    "silent", "blithely", "even", "platelets", "slyly", "unusual", "asymptotes", "daring",
+];
+
+/// A random comment of `words` words. With small probability the comment
+/// embeds one of the phrases TPC-H predicates grep for (`special requests`
+/// for Q13, `Customer Complaints` for Q16).
+pub fn comment(rng: &mut StdRng, words: usize, phrase_pool: &[&str]) -> String {
+    let mut parts: Vec<&str> = (0..words)
+        .map(|_| FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())])
+        .collect();
+    if !phrase_pool.is_empty() && rng.gen_ratio(1, 10) {
+        let idx = rng.gen_range(0..=parts.len().saturating_sub(1));
+        parts.insert(idx, phrase_pool[rng.gen_range(0..phrase_pool.len())]);
+    }
+    parts.join(" ")
+}
+
+/// Phone number with the TPC-H `CC-NNN-NNN-NNNN` layout; the country code
+/// is `10 + nationkey`, which Q22 extracts with SUBSTRING.
+pub fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// Pick a random element.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Money value with two decimals in [lo, hi).
+pub fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo..hi) * 100.0).round() / 100.0
+}
+
+pub fn d_str(s: impl AsRef<str>) -> Datum {
+    Datum::str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nations_regions_consistent() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert!(NATIONS.iter().all(|(_, r)| *r < 5));
+        // Names the queries depend on are present.
+        for name in ["FRANCE", "GERMANY", "BRAZIL", "SAUDI ARABIA", "UNITED STATES"] {
+            assert!(NATIONS.iter().any(|(n, _)| *n == name), "{name}");
+        }
+    }
+
+    #[test]
+    fn phone_country_code() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = phone(&mut rng, 3);
+        assert!(p.starts_with("13-"), "{p}");
+        assert_eq!(p.len(), 15);
+    }
+
+    #[test]
+    fn comments_sometimes_carry_phrases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = 0;
+        for _ in 0..300 {
+            if comment(&mut rng, 5, &["special requests"]).contains("special requests") {
+                hits += 1;
+            }
+        }
+        assert!(hits > 5 && hits < 100, "{hits}");
+    }
+
+    #[test]
+    fn money_two_decimals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let m = money(&mut rng, 0.0, 10.0);
+            // Rounded to cents (within float representation error).
+            let cents = m * 100.0;
+            assert!((cents - cents.round()).abs() < 1e-6, "{m}");
+        }
+    }
+}

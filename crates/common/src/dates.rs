@@ -1,0 +1,155 @@
+//! Proleptic-Gregorian date arithmetic on epoch-day integers.
+//!
+//! TPC-H and SSB predicates do date literal arithmetic
+//! (`date '1995-01-01' + interval '3' month`); the binder constant-folds
+//! those using these helpers. No external chrono dependency is needed.
+
+/// True for leap years in the Gregorian calendar.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in the given 1-based month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Convert a calendar date to days since 1970-01-01. Panics on invalid dates.
+pub fn to_epoch_days(year: i32, month: u32, day: u32) -> i32 {
+    assert!((1..=12).contains(&month), "invalid month {month}");
+    assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {day}");
+    // Days from civil algorithm (Howard Hinnant's days_from_civil).
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Convert days since 1970-01-01 back to (year, month, day).
+pub fn from_epoch_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m as u32, d as u32)
+}
+
+/// Add whole months to an epoch-day date, clamping the day-of-month
+/// (e.g. Jan 31 + 1 month = Feb 28/29), matching SQL interval semantics.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = from_epoch_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let nd = d.min(days_in_month(ny, nm));
+    to_epoch_days(ny, nm, nd)
+}
+
+/// Add whole years (12-month intervals).
+pub fn add_years(days: i32, years: i32) -> i32 {
+    add_months(days, years * 12)
+}
+
+/// Extract the year of an epoch-day date.
+pub fn year_of(days: i32) -> i32 {
+    from_epoch_days(days).0
+}
+
+/// Extract the 1-based month of an epoch-day date.
+pub fn month_of(days: i32) -> u32 {
+    from_epoch_days(days).1
+}
+
+/// Parse a `YYYY-MM-DD` string to epoch days.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return None;
+    }
+    Some(to_epoch_days(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 2, 29),
+            (1998, 12, 1),
+            (1995, 3, 15),
+            (2000, 2, 29),
+            (1900, 3, 1),
+            (2024, 12, 31),
+        ] {
+            let e = to_epoch_days(y, m, d);
+            assert_eq!(from_epoch_days(e), (y, m, d), "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_epochs() {
+        assert_eq!(to_epoch_days(1970, 1, 1), 0);
+        assert_eq!(to_epoch_days(1970, 1, 2), 1);
+        assert_eq!(to_epoch_days(1969, 12, 31), -1);
+        assert_eq!(to_epoch_days(2000, 1, 1), 10957);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1995));
+    }
+
+    #[test]
+    fn month_arith_clamps() {
+        let jan31 = to_epoch_days(1995, 1, 31);
+        assert_eq!(from_epoch_days(add_months(jan31, 1)), (1995, 2, 28));
+        let d = to_epoch_days(1995, 1, 1);
+        assert_eq!(from_epoch_days(add_months(d, 3)), (1995, 4, 1));
+        assert_eq!(from_epoch_days(add_years(d, 1)), (1996, 1, 1));
+        assert_eq!(from_epoch_days(add_months(d, -1)), (1994, 12, 1));
+    }
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse_date("1995-03-15"), Some(to_epoch_days(1995, 3, 15)));
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("1995-02-30"), None);
+        assert_eq!(parse_date("garbage"), None);
+    }
+
+    #[test]
+    fn extracts() {
+        let d = to_epoch_days(1997, 6, 9);
+        assert_eq!(year_of(d), 1997);
+        assert_eq!(month_of(d), 6);
+    }
+}

@@ -1,0 +1,97 @@
+//! Common error type shared across the whole stack.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type IcResult<T> = Result<T, IcError>;
+
+/// Errors raised anywhere in the composed system.
+///
+/// The variants mirror the failure classes observed in the paper's study of
+/// Ignite+Calcite: parse/validation errors, planner failures (including the
+/// exploration-budget timeouts of §4.3 and §6.4), unsupported features
+/// (e.g. SQL views for TPC-H Q15), and execution-time faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcError {
+    /// SQL lexing/parsing failure.
+    Parse(String),
+    /// Name resolution / type checking failure.
+    Bind(String),
+    /// The planner could not produce an execution plan.
+    Plan(String),
+    /// The cost-based planner exceeded its exploration budget
+    /// (the paper's "search space too large" Calcite timeout, §6.4).
+    PlannerBudgetExceeded { rules_fired: u64, budget: u64 },
+    /// A feature the composed system does not support (e.g. VIEWs, §6).
+    Unsupported(String),
+    /// Execution-time failure.
+    Exec(String),
+    /// Query execution exceeded the configured wall-clock limit
+    /// (the paper's four-hour runtime cap, §5.2).
+    ExecTimeout { limit_ms: u64 },
+    /// Query execution exceeded the configured memory budget — the
+    /// "system resource limit" failures the paper observes on the
+    /// baseline's unoptimized plans.
+    MemoryLimit { limit_rows: u64 },
+    /// Catalog errors: unknown table/column/index, duplicate definitions.
+    Catalog(String),
+}
+
+impl fmt::Display for IcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcError::Parse(m) => write!(f, "parse error: {m}"),
+            IcError::Bind(m) => write!(f, "bind error: {m}"),
+            IcError::Plan(m) => write!(f, "planner error: {m}"),
+            IcError::PlannerBudgetExceeded { rules_fired, budget } => write!(
+                f,
+                "planner exploration budget exceeded: {rules_fired} rule firings (budget {budget})"
+            ),
+            IcError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            IcError::Exec(m) => write!(f, "execution error: {m}"),
+            IcError::ExecTimeout { limit_ms } => {
+                write!(f, "execution exceeded the {limit_ms} ms runtime limit")
+            }
+            IcError::MemoryLimit { limit_rows } => {
+                write!(f, "execution exceeded the {limit_rows}-row buffered-memory limit")
+            }
+            IcError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IcError {}
+
+impl IcError {
+    /// True when the error represents a planner failure rather than a user
+    /// error — the class the paper counts as "failed to generate execution
+    /// plans" (Q2, Q5, Q9 on the baseline).
+    pub fn is_planner_failure(&self) -> bool {
+        matches!(
+            self,
+            IcError::Plan(_) | IcError::PlannerBudgetExceeded { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(IcError::Parse("x".into()).to_string().contains("parse"));
+        assert!(IcError::PlannerBudgetExceeded { rules_fired: 10, budget: 5 }
+            .to_string()
+            .contains("budget"));
+        assert!(IcError::ExecTimeout { limit_ms: 100 }.to_string().contains("100"));
+    }
+
+    #[test]
+    fn planner_failure_classification() {
+        assert!(IcError::Plan("no plan".into()).is_planner_failure());
+        assert!(IcError::PlannerBudgetExceeded { rules_fired: 1, budget: 1 }.is_planner_failure());
+        assert!(!IcError::Parse("p".into()).is_planner_failure());
+        assert!(!IcError::ExecTimeout { limit_ms: 1 }.is_planner_failure());
+    }
+}

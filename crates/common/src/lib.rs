@@ -1,0 +1,24 @@
+//! Shared substrate for the Ignite+Calcite reproduction.
+//!
+//! This crate defines the row/value model ([`Datum`], [`Row`]), schemas
+//! ([`Schema`], [`Field`], [`DataType`]), scalar expressions and their
+//! evaluator ([`expr::Expr`]), aggregate functions ([`agg`]), date helpers
+//! ([`dates`]) and the common error type ([`IcError`]).
+//!
+//! Everything above this crate — storage, SQL frontend, planner, executor —
+//! speaks these types, mirroring how Apache Calcite's `RexNode`/`RelDataType`
+//! layer underpins the whole Ignite+Calcite stack.
+
+pub mod agg;
+pub mod datum;
+pub mod dates;
+pub mod error;
+pub mod expr;
+pub mod row;
+pub mod schema;
+
+pub use datum::{DataType, Datum};
+pub use error::{IcError, IcResult};
+pub use expr::{BinOp, Expr, FuncKind};
+pub use row::{Batch, Row};
+pub use schema::{Field, Schema};

@@ -1,0 +1,189 @@
+//! Property tests for the expression layer: total evaluation, algebraic
+//! helper round-trips, LIKE against a reference matcher, date arithmetic,
+//! and Datum ordering/hashing laws.
+
+use ic_common::agg::{Accumulator, AggFunc};
+use ic_common::{dates, BinOp, Datum, Expr, Row};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        any::<bool>().prop_map(Datum::Bool),
+        (-1000i64..1000).prop_map(Datum::Int),
+        (-1000i64..1000).prop_map(|v| Datum::Double(v as f64 / 8.0)),
+        "[a-z]{0,6}".prop_map(Datum::str),
+        (0i32..20000).prop_map(Datum::Date),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(arb_datum(), 4..=4).prop_map(Row)
+}
+
+/// Random expressions over a 4-column row. Comparisons may be ill-typed
+/// (string vs int); evaluation must return an error, never panic.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(Expr::col),
+        arb_datum().prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
+                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And), Just(BinOp::Or),
+            ])
+                .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+        ]
+    })
+}
+
+/// Reference LIKE matcher via dynamic programming.
+fn like_reference(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = dp[0][j - 1] && p[j - 1] == '%';
+    }
+    for i in 1..=s.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && s[i - 1] == c,
+            };
+        }
+    }
+    dp[s.len()][p.len()]
+}
+
+proptest! {
+    /// Evaluation is total: Ok or Err, never a panic; filters never panic.
+    #[test]
+    fn eval_never_panics(e in arb_expr(), row in arb_row()) {
+        let _ = e.eval(&row);
+        let _ = e.eval_filter(&row);
+    }
+
+    /// split_conjunction + conjunction is semantics-preserving.
+    #[test]
+    fn conjunction_roundtrip(e in arb_expr(), row in arb_row()) {
+        let parts: Vec<Expr> = e.split_conjunction().into_iter().cloned().collect();
+        let rebuilt = Expr::conjunction(parts);
+        let a = e.eval(&row).ok();
+        let b = rebuilt.eval(&row).ok();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Shifting up then down restores the expression.
+    #[test]
+    fn shift_roundtrip(e in arb_expr()) {
+        let shifted = e.shift(0, 7).shift(7, -7);
+        prop_assert_eq!(e, shifted);
+    }
+
+    /// The iterative LIKE matcher agrees with the DP reference.
+    #[test]
+    fn like_matches_reference(s in "[ab_%]{0,8}", p in "[ab_%]{0,6}") {
+        prop_assert_eq!(ic_common::expr::like_match(&s, &p), like_reference(&s, &p));
+    }
+
+    /// Epoch-day round trip over ±60 years.
+    #[test]
+    fn date_roundtrip(d in -20000i32..20000) {
+        let (y, m, dd) = dates::from_epoch_days(d);
+        prop_assert_eq!(dates::to_epoch_days(y, m, dd), d);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!(dd >= 1 && dd <= dates::days_in_month(y, m));
+    }
+
+    /// add_months composes: +a then +b == +(a+b).
+    #[test]
+    fn add_months_composes(d in 0i32..15000, a in -24i32..24, b in -24i32..24) {
+        // Composition can differ by day clamping; compare via first-of-month.
+        let (y, m, _) = dates::from_epoch_days(d);
+        let first = dates::to_epoch_days(y, m, 1);
+        prop_assert_eq!(
+            dates::add_months(dates::add_months(first, a), b),
+            dates::add_months(first, a + b)
+        );
+    }
+
+    /// Datum equality implies hash equality.
+    #[test]
+    fn eq_implies_hash_eq(a in arb_datum(), b in arb_datum()) {
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Datum ordering is antisymmetric and consistent with equality.
+    #[test]
+    fn ordering_laws(a in arb_datum(), b in arb_datum(), c in arb_datum()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) == Ordering::Less && b.cmp(&c) == Ordering::Less {
+            prop_assert_eq!(a.cmp(&c), Ordering::Less);
+        }
+    }
+
+    /// Partial+final accumulators equal a single complete accumulator for
+    /// any split of any input.
+    #[test]
+    fn accumulator_split_invariant(
+        values in proptest::collection::vec((-100i64..100, any::<bool>()), 0..60),
+        split in 0usize..60,
+    ) {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let datums: Vec<Datum> = values
+                .iter()
+                .map(|(v, n)| if *n { Datum::Null } else { Datum::Int(*v) })
+                .collect();
+            let mut complete = Accumulator::new(func);
+            for v in &datums {
+                complete.update(v.clone()).unwrap();
+            }
+            let cut = split.min(datums.len());
+            let mut p1 = Accumulator::new(func);
+            let mut p2 = Accumulator::new(func);
+            for v in &datums[..cut] {
+                p1.update(v.clone()).unwrap();
+            }
+            for v in &datums[cut..] {
+                p2.update(v.clone()).unwrap();
+            }
+            let mut merged = Accumulator::from_state(func, &p1.to_state()).unwrap();
+            merged.merge(Accumulator::from_state(func, &p2.to_state()).unwrap()).unwrap();
+            prop_assert_eq!(merged.finish(), complete.finish(), "{}", func);
+        }
+    }
+
+    /// Three-valued logic: NOT(NOT(x)) == x for boolean-valued expressions.
+    #[test]
+    fn double_negation(row in arb_row(), v in 0usize..4, lit in -50i64..50) {
+        let cmp = Expr::binary(BinOp::Gt, Expr::col(v), Expr::lit(lit));
+        let double = Expr::Not(Box::new(Expr::Not(Box::new(cmp.clone()))));
+        prop_assert_eq!(cmp.eval(&row).ok(), double.eval(&row).ok());
+    }
+}

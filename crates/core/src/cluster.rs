@@ -1,0 +1,465 @@
+//! The cluster facade: configuration, DDL, data loading and SQL execution
+//! (Figure 6's end-to-end flow).
+
+use crate::result::QueryResult;
+use ic_common::{IcError, IcResult, Row, Schema};
+use ic_exec::{execute_plan, ExecOptions};
+use ic_net::{Network, NetworkConfig, Topology};
+use ic_opt::optimize_query;
+use ic_plan::PlannerFlags;
+use ic_sql::ast::Statement;
+use ic_sql::{bind_statement, data_type_of, parse_sql};
+use ic_storage::{Catalog, TableDistribution, TableId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The three system configurations evaluated in §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemVariant {
+    /// Baseline: stock Apache Ignite 2.16 + Calcite.
+    IC,
+    /// Query-planner changes + join optimizations (§4, §5.1, §5.2).
+    ICPlus,
+    /// IC+ with multithreaded execution plans (§5.3).
+    ICPlusM,
+}
+
+impl SystemVariant {
+    pub fn flags(&self) -> PlannerFlags {
+        match self {
+            SystemVariant::IC => PlannerFlags::ic(),
+            SystemVariant::ICPlus => PlannerFlags::ic_plus(),
+            SystemVariant::ICPlusM => PlannerFlags::ic_plus_m(),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemVariant::IC => "IC",
+            SystemVariant::ICPlus => "IC+",
+            SystemVariant::ICPlusM => "IC+M",
+        }
+    }
+
+    pub fn all() -> [SystemVariant; 3] {
+        [SystemVariant::IC, SystemVariant::ICPlus, SystemVariant::ICPlusM]
+    }
+}
+
+/// Cluster configuration (the paper's §6.1 methodology knobs).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of processing sites (the paper uses 4 and 8).
+    pub sites: usize,
+    pub variant: SystemVariant,
+    /// Simulated network parameters.
+    pub network: NetworkConfig,
+    /// Per-query execution wall-clock limit (the paper's 4-hour cap,
+    /// scaled down).
+    pub exec_timeout: Option<Duration>,
+    /// Override the Volcano exploration budget (None = variant default).
+    pub planner_budget: Option<u64>,
+    /// Per-query buffered-row memory budget (Ignite's resource limit).
+    pub memory_limit_rows: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            sites: 4,
+            variant: SystemVariant::ICPlus,
+            network: NetworkConfig::default(),
+            exec_timeout: Some(Duration::from_secs(30)),
+            planner_budget: None,
+            memory_limit_rows: 60_000_000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Fast configuration for unit tests: no simulated network delay.
+    pub fn test_default() -> ClusterConfig {
+        ClusterConfig {
+            sites: 2,
+            variant: SystemVariant::ICPlus,
+            network: NetworkConfig::instant(),
+            exec_timeout: Some(Duration::from_secs(10)),
+            planner_budget: None,
+            memory_limit_rows: 60_000_000,
+        }
+    }
+}
+
+/// A simulated Ignite+Calcite cluster. All methods take `&self`; a cluster
+/// can serve concurrent clients from multiple threads (the §6.3 AQL
+/// terminals).
+pub struct Cluster {
+    config: ClusterConfig,
+    flags: PlannerFlags,
+    catalog: Arc<Catalog>,
+    network: Arc<Network>,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Cluster {
+        let mut flags = config.variant.flags();
+        if let Some(b) = config.planner_budget {
+            flags.planner_budget = b;
+        }
+        let catalog = Catalog::new(Topology::new(config.sites));
+        let network = Network::new(config.network.clone());
+        Cluster { config, flags, catalog, network }
+    }
+
+    /// A cluster sharing this one's data but running as a different system
+    /// variant — how the harness compares IC / IC+ / IC+M on identical
+    /// data without reloading.
+    pub fn with_variant(&self, variant: SystemVariant) -> Cluster {
+        let mut config = self.config.clone();
+        config.variant = variant;
+        let mut flags = variant.flags();
+        if let Some(b) = config.planner_budget {
+            flags.planner_budget = b;
+        }
+        Cluster {
+            config,
+            flags,
+            catalog: self.catalog.clone(),
+            network: Network::new(self.config.network.clone()),
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn variant(&self) -> SystemVariant {
+        self.config.variant
+    }
+
+    /// Execute a DDL statement (CREATE TABLE / CREATE INDEX).
+    pub fn run(&self, sql: &str) -> IcResult<()> {
+        match parse_sql(sql)? {
+            Statement::CreateTable(ct) => {
+                let fields: Vec<ic_common::Field> = ct
+                    .columns
+                    .iter()
+                    .map(|(n, t)| Ok(ic_common::Field::new(n.clone(), data_type_of(t)?)))
+                    .collect::<IcResult<_>>()?;
+                let schema = Schema::new(fields);
+                let col_pos = |name: &str| {
+                    schema.index_of(name).ok_or_else(|| {
+                        IcError::Catalog(format!("unknown column '{name}' in '{}'", ct.name))
+                    })
+                };
+                let pk: Vec<usize> =
+                    ct.primary_key.iter().map(|c| col_pos(c)).collect::<IcResult<_>>()?;
+                let distribution = if ct.replicated {
+                    TableDistribution::Replicated
+                } else {
+                    let key_cols = match &ct.partition_by {
+                        Some(cols) => cols.iter().map(|c| col_pos(c)).collect::<IcResult<_>>()?,
+                        // Ignite's default affinity: partition by primary key.
+                        None => pk.clone(),
+                    };
+                    if key_cols.is_empty() {
+                        return Err(IcError::Catalog(format!(
+                            "table '{}' needs a primary key or PARTITION BY",
+                            ct.name
+                        )));
+                    }
+                    TableDistribution::HashPartitioned { key_cols }
+                };
+                self.catalog.create_table(&ct.name, schema, pk, distribution)?;
+                Ok(())
+            }
+            Statement::CreateIndex(ci) => {
+                let table = self
+                    .catalog
+                    .table_by_name(&ci.table)
+                    .ok_or_else(|| IcError::Catalog(format!("unknown table '{}'", ci.table)))?;
+                let def = self.catalog.table_def(table).unwrap();
+                let cols: Vec<usize> = ci
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        def.schema.index_of(c).ok_or_else(|| {
+                            IcError::Catalog(format!("unknown column '{c}' in '{}'", ci.table))
+                        })
+                    })
+                    .collect::<IcResult<_>>()?;
+                self.catalog.create_index(&ci.name, table, cols)?;
+                Ok(())
+            }
+            Statement::Query(_) | Statement::Explain(_) => Err(IcError::Exec(
+                "use query() for SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// Bulk-insert rows (the benchmark loaders use this instead of
+    /// generating INSERT statements).
+    pub fn insert(&self, table: &str, rows: Vec<Row>) -> IcResult<usize> {
+        let id = self
+            .catalog
+            .table_by_name(table)
+            .ok_or_else(|| IcError::Catalog(format!("unknown table '{table}'")))?;
+        self.catalog.insert(id, rows)
+    }
+
+    /// Recompute statistics and rebuild indexes for every table (run after
+    /// bulk loading, like Ignite with statistics enabled).
+    pub fn analyze_all(&self) -> IcResult<()> {
+        for name in self.catalog.table_names() {
+            let id = self.catalog.table_by_name(&name).unwrap();
+            self.catalog.analyze(id)?;
+        }
+        Ok(())
+    }
+
+    fn table_id(&self, name: &str) -> IcResult<TableId> {
+        self.catalog
+            .table_by_name(name)
+            .ok_or_else(|| IcError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Row count of a table.
+    pub fn table_rows(&self, name: &str) -> IcResult<usize> {
+        let id = self.table_id(name)?;
+        Ok(self.catalog.table_data(id).unwrap().total_rows())
+    }
+
+    /// Execute a SELECT query end-to-end. `EXPLAIN SELECT …` returns the
+    /// optimized physical plan as a single-column result.
+    pub fn query(&self, sql: &str) -> IcResult<QueryResult> {
+        let plan_start = Instant::now();
+        let ast = match parse_sql(sql)? {
+            Statement::Query(q) => q,
+            Statement::Explain(q) => {
+                let bound = bind_statement(&q, &self.catalog)?;
+                let optimized = optimize_query(bound.plan, &self.catalog, &self.flags)?;
+                let text = ic_plan::explain::explain_physical(&optimized.plan);
+                return Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| Row(vec![ic_common::Datum::str(l)]))
+                        .collect(),
+                    stats: Default::default(),
+                    plan_time: plan_start.elapsed(),
+                    rule_firings: optimized.rule_firings,
+                    reorder_disabled: optimized.reorder_disabled,
+                });
+            }
+            _ => return Err(IcError::Exec("use run() for DDL statements".into())),
+        };
+        let bound = bind_statement(&ast, &self.catalog)?;
+        let optimized = optimize_query(bound.plan, &self.catalog, &self.flags)?;
+        let plan_time = plan_start.elapsed();
+        let opts = ExecOptions {
+            variant_fragments: self.flags.variant_fragments,
+            timeout: self.config.exec_timeout,
+            memory_limit_rows: self.config.memory_limit_rows,
+            ..ExecOptions::default()
+        };
+        let (rows, stats) = execute_plan(&optimized.plan, &self.catalog, &self.network, &opts)?;
+        Ok(QueryResult {
+            columns: bound.output_names,
+            rows,
+            stats,
+            plan_time,
+            rule_firings: optimized.rule_firings,
+            reorder_disabled: optimized.reorder_disabled,
+        })
+    }
+
+    /// EXPLAIN: the optimized physical plan as text.
+    pub fn explain(&self, sql: &str) -> IcResult<String> {
+        let ast = match parse_sql(sql)? {
+            Statement::Query(q) | Statement::Explain(q) => q,
+            _ => return Err(IcError::Exec("EXPLAIN requires a SELECT".into())),
+        };
+        let bound = bind_statement(&ast, &self.catalog)?;
+        let optimized = optimize_query(bound.plan, &self.catalog, &self.flags)?;
+        Ok(ic_plan::explain::explain_physical(&optimized.plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::Datum;
+
+    fn sample_cluster(variant: SystemVariant) -> Cluster {
+        let cluster = Cluster::new(ClusterConfig {
+            variant,
+            ..ClusterConfig::test_default()
+        });
+        cluster
+            .run("CREATE TABLE employee (id BIGINT, name VARCHAR, dept BIGINT, PRIMARY KEY (id))")
+            .unwrap();
+        cluster
+            .run("CREATE TABLE sales (sale_id BIGINT, emp_id BIGINT, amount DOUBLE, PRIMARY KEY (sale_id))")
+            .unwrap();
+        let employees: Vec<Row> = (0..100)
+            .map(|i| Row(vec![Datum::Int(i), Datum::str(format!("emp{i}")), Datum::Int(i % 5)]))
+            .collect();
+        let sales: Vec<Row> = (0..1000)
+            .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 100), Datum::Double((i % 97) as f64)]))
+            .collect();
+        cluster.insert("employee", employees).unwrap();
+        cluster.insert("sales", sales).unwrap();
+        cluster.analyze_all().unwrap();
+        cluster
+    }
+
+    /// The paper's running example (Figure 1, Query A).
+    #[test]
+    fn figure1_query_a_all_variants() {
+        for variant in SystemVariant::all() {
+            let cluster = sample_cluster(variant);
+            let result = cluster
+                .query("SELECT * FROM employee INNER JOIN sales ON employee.id = sales.emp_id WHERE employee.id = 10")
+                .unwrap();
+            assert_eq!(result.columns.len(), 6, "{variant:?}");
+            assert_eq!(result.rows.len(), 10, "{variant:?}");
+            for row in &result.rows {
+                assert_eq!(row.0[0], Datum::Int(10));
+                assert_eq!(row.0[4], Datum::Int(10));
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_aggregates() {
+        let mut baseline: Option<Vec<Row>> = None;
+        for variant in SystemVariant::all() {
+            let cluster = sample_cluster(variant);
+            let result = cluster
+                .query(
+                    "SELECT dept, count(*) AS c, sum(amount) AS total \
+                     FROM employee, sales WHERE id = emp_id \
+                     GROUP BY dept ORDER BY dept",
+                )
+                .unwrap();
+            assert_eq!(result.rows.len(), 5);
+            match &baseline {
+                None => baseline = Some(result.rows),
+                Some(b) => assert_eq!(*b, result.rows, "{variant:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let cluster = sample_cluster(SystemVariant::ICPlusM);
+        let result = cluster
+            .query("SELECT id, name FROM employee ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        let ids: Vec<i64> = result.rows.iter().map(|r| r.0[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn ddl_errors() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        assert!(cluster.run("CREATE TABLE employee (id BIGINT, PRIMARY KEY (id))").is_err());
+        assert!(cluster.run("CREATE INDEX ix ON missing (x)").is_err());
+        assert!(cluster.run("SELECT 1 FROM employee").is_err());
+        assert!(cluster.query("CREATE TABLE t (id BIGINT, PRIMARY KEY (id))").is_err());
+    }
+
+    #[test]
+    fn explain_shows_physical_plan() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        let plan = cluster
+            .explain("SELECT count(*) FROM sales WHERE amount > 50")
+            .unwrap();
+        assert!(plan.contains("TableScan(sales)"), "{plan}");
+        assert!(plan.contains("Exchange"), "{plan}");
+    }
+
+    #[test]
+    fn exec_timeout_enforced() {
+        let cluster = Cluster::new(ClusterConfig {
+            exec_timeout: Some(Duration::from_millis(1)),
+            ..ClusterConfig::test_default()
+        });
+        cluster
+            .run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+            .unwrap();
+        let rows: Vec<Row> = (0..30_000)
+            .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 100)]))
+            .collect();
+        cluster.insert("t", rows).unwrap();
+        cluster.analyze_all().unwrap();
+        // A cross-ish join big enough to exceed 1 ms.
+        let err = cluster
+            .query("SELECT count(*) FROM t x, t y WHERE x.b = y.b")
+            .unwrap_err();
+        assert!(matches!(err, IcError::ExecTimeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let cluster = Arc::new(sample_cluster(SystemVariant::ICPlus));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = cluster.clone();
+                std::thread::spawn(move || {
+                    c.query("SELECT count(*) FROM sales").unwrap().rows[0].0[0]
+                        .as_int()
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1000);
+        }
+    }
+
+    #[test]
+    fn explain_statement_via_query() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        let r = cluster.query("EXPLAIN SELECT count(*) FROM sales WHERE amount > 10").unwrap();
+        assert_eq!(r.columns, vec!["plan".to_string()]);
+        let text: Vec<String> =
+            r.rows.iter().map(|row| row.0[0].as_str().unwrap().to_string()).collect();
+        assert!(text.iter().any(|l| l.contains("TableScan(sales)")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("HashAggregate")), "{text:?}");
+    }
+
+    #[test]
+    fn memory_limit_surfaces_as_error() {
+        let mut config = ClusterConfig::test_default();
+        config.memory_limit_rows = 500;
+        config.exec_timeout = Some(Duration::from_secs(30));
+        let cluster = Cluster::new(config);
+        cluster.run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))").unwrap();
+        let rows: Vec<Row> =
+            (0..5000).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 3)])).collect();
+        cluster.insert("t", rows).unwrap();
+        cluster.analyze_all().unwrap();
+        let err = cluster.query("SELECT count(*) FROM t x, t y WHERE x.b = y.b").unwrap_err();
+        assert!(
+            matches!(err, IcError::MemoryLimit { .. } | IcError::ExecTimeout { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn with_variant_shares_data() {
+        let base = sample_cluster(SystemVariant::IC);
+        let plus = base.with_variant(SystemVariant::ICPlus);
+        assert_eq!(plus.table_rows("sales").unwrap(), 1000);
+        assert_eq!(plus.variant(), SystemVariant::ICPlus);
+    }
+}

@@ -1,0 +1,42 @@
+//! Query results and telemetry returned to clients.
+
+use ic_common::Row;
+use ic_exec::QueryStats;
+use std::time::Duration;
+
+/// The result of one SQL query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows, in the query's ORDER BY order (if any).
+    pub rows: Vec<Row>,
+    /// Execution telemetry (fragments, threads, simulated network usage).
+    pub stats: QueryStats,
+    /// Time spent in parsing/binding/optimization.
+    pub plan_time: Duration,
+    /// Weighted Volcano transformation-rule firings.
+    pub rule_firings: u64,
+    /// Whether the §4.3 conditional reorder-free phase was used.
+    pub reorder_disabled: bool,
+}
+
+impl QueryResult {
+    /// Total wall-clock time (planning + execution).
+    pub fn total_time(&self) -> Duration {
+        self.plan_time + self.stats.elapsed
+    }
+
+    /// Render rows as pipe-separated lines (result inspection in examples
+    /// and tests).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("|"));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,251 @@
+//! Execution-plan fragmentation — Algorithm 1 of the paper (§3.2.3).
+//!
+//! Walking the physical plan depth-first, every [`PhysOp::Exchange`]
+//! splits the tree: the exchange's subtree becomes a new fragment whose
+//! *sender* ships rows into the consuming fragment's *receiver* (the
+//! exchange node itself marks the receiver position in the consumer).
+
+use ic_net::{SiteId, Topology};
+use ic_plan::ops::{PhysOp, PhysPlan};
+use ic_plan::Distribution;
+use std::sync::Arc;
+
+/// Fragment identifier (0 = root fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FragmentId(pub usize);
+
+/// Exchange identifier, shared between the producing fragment's sender and
+/// the consuming fragment's receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExchangeId(pub usize);
+
+/// Where a fragment's output goes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sink {
+    /// Root fragment: rows go to the client.
+    Results,
+    /// Ship rows into `exchange` with the given target distribution.
+    Exchange { id: ExchangeId, to: Distribution },
+}
+
+/// One fragment: a subtree of the plan executable entirely at one site,
+/// instantiated at `sites`.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    pub id: FragmentId,
+    /// The subtree root. [`PhysOp::Exchange`] nodes *inside* this subtree
+    /// are the receivers of this fragment (their own subtrees belong to
+    /// other fragments).
+    pub root: Arc<PhysPlan>,
+    pub sink: Sink,
+    pub sites: Vec<SiteId>,
+}
+
+impl Fragment {
+    /// Exchange ids whose receivers live in this fragment (in discovery
+    /// order).
+    pub fn receiver_exchanges(&self, registry: &ExchangeRegistry) -> Vec<ExchangeId> {
+        let mut out = Vec::new();
+        collect_exchanges(&self.root, registry, &mut out);
+        out
+    }
+
+    /// Is this the root fragment?
+    pub fn is_root(&self) -> bool {
+        matches!(self.sink, Sink::Results)
+    }
+}
+
+fn collect_exchanges(node: &Arc<PhysPlan>, registry: &ExchangeRegistry, out: &mut Vec<ExchangeId>) {
+    if let PhysOp::Exchange { .. } = &node.op {
+        out.push(registry.id_of(node));
+        return; // below is another fragment
+    }
+    for c in node.children() {
+        collect_exchanges(c, registry, out);
+    }
+}
+
+/// Maps exchange plan nodes (by pointer identity) to their ids.
+#[derive(Debug, Default)]
+pub struct ExchangeRegistry {
+    entries: Vec<*const PhysPlan>,
+}
+
+// Pointers are only used as identity tokens.
+unsafe impl Send for ExchangeRegistry {}
+unsafe impl Sync for ExchangeRegistry {}
+
+impl ExchangeRegistry {
+    fn register(&mut self, node: &Arc<PhysPlan>) -> ExchangeId {
+        let ptr = Arc::as_ptr(node);
+        if let Some(pos) = self.entries.iter().position(|&p| p == ptr) {
+            return ExchangeId(pos);
+        }
+        self.entries.push(ptr);
+        ExchangeId(self.entries.len() - 1)
+    }
+
+    pub fn id_of(&self, node: &Arc<PhysPlan>) -> ExchangeId {
+        let ptr = Arc::as_ptr(node);
+        ExchangeId(
+            self.entries
+                .iter()
+                .position(|&p| p == ptr)
+                .expect("exchange node not registered"),
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The sites a fragment executes at, derived from its subtree's delivered
+/// distribution: partitioned subtrees run at every site, single/broadcast
+/// subtrees at the coordinator (the paper's "site that received the
+/// original request").
+fn fragment_sites(root: &PhysPlan, topology: &Topology) -> Vec<SiteId> {
+    match root.dist {
+        Distribution::Hash(_) | Distribution::Random => topology.sites().collect(),
+        Distribution::Single | Distribution::Broadcast => vec![topology.coordinator()],
+    }
+}
+
+/// Algorithm 1: split a physical plan into fragments at its exchanges.
+/// Fragment 0 is the root fragment.
+pub fn fragment_plan(
+    plan: &Arc<PhysPlan>,
+    topology: &Topology,
+) -> (Vec<Fragment>, ExchangeRegistry) {
+    let mut registry = ExchangeRegistry::default();
+    let mut fragments = Vec::new();
+    // Pending (subtree root, sink) pairs.
+    let mut queue: Vec<(Arc<PhysPlan>, Sink)> = vec![(plan.clone(), Sink::Results)];
+    while let Some((root, sink)) = queue.pop() {
+        // Find exchanges directly below (not crossing nested exchanges)
+        // and enqueue their subtrees as new fragments. A fragment whose
+        // root is itself an exchange degenerates to a pure receiver.
+        let mut stack: Vec<Arc<PhysPlan>> = vec![root.clone()];
+        while let Some(node) = stack.pop() {
+            if let PhysOp::Exchange { input, to } = &node.op {
+                let id = registry.register(&node);
+                queue.push((input.clone(), Sink::Exchange { id, to: to.clone() }));
+                continue;
+            }
+            for c in node.children() {
+                stack.push(c.clone());
+            }
+        }
+        let sites = fragment_sites(&root, topology);
+        fragments.push(Fragment { id: FragmentId(fragments.len()), root, sink, sites });
+    }
+    (fragments, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{DataType, Field, Schema};
+    use ic_plan::cost::Cost;
+    use ic_plan::ops::SortKey;
+    use ic_storage::TableId;
+
+    fn node(op: PhysOp<Arc<PhysPlan>>, dist: Distribution) -> Arc<PhysPlan> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        Arc::new(PhysPlan {
+            op,
+            schema,
+            dist,
+            collation: vec![],
+            rows: 1.0,
+            cost: Cost::ZERO,
+            total_cost: 0.0,
+            has_exchange: false,
+        })
+    }
+
+    fn scan(dist: Distribution) -> Arc<PhysPlan> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        node(
+            PhysOp::TableScan { table: TableId(0), name: "t".into(), schema },
+            dist,
+        )
+    }
+
+    /// The paper's Figure 5: scan → exchange → join at a single site
+    /// yields three fragments (two scan fragments, one root).
+    #[test]
+    fn figure5_three_fragments() {
+        let left = scan(Distribution::Hash(vec![0]));
+        let right = scan(Distribution::Hash(vec![0]));
+        let exl = node(
+            PhysOp::Exchange { input: left, to: Distribution::Single },
+            Distribution::Single,
+        );
+        let exr = node(
+            PhysOp::Exchange { input: right, to: Distribution::Single },
+            Distribution::Single,
+        );
+        let join = node(
+            PhysOp::NestedLoopJoin {
+                left: exl,
+                right: exr,
+                kind: ic_plan::JoinKind::Inner,
+                on: ic_common::Expr::lit(true),
+            },
+            Distribution::Single,
+        );
+        let topo = Topology::new(4);
+        let (fragments, registry) = fragment_plan(&join, &topo);
+        assert_eq!(fragments.len(), 3);
+        assert_eq!(registry.len(), 2);
+        // Root fragment at the coordinator; scan fragments at all sites.
+        assert!(fragments[0].is_root());
+        assert_eq!(fragments[0].sites, vec![SiteId(0)]);
+        for f in &fragments[1..] {
+            assert_eq!(f.sites.len(), 4);
+            assert!(matches!(f.sink, Sink::Exchange { to: Distribution::Single, .. }));
+        }
+        // The root fragment has two receivers.
+        assert_eq!(fragments[0].receiver_exchanges(&registry).len(), 2);
+    }
+
+    #[test]
+    fn no_exchange_single_fragment() {
+        let s = scan(Distribution::Single);
+        let topo = Topology::new(2);
+        let (fragments, registry) = fragment_plan(&s, &topo);
+        assert_eq!(fragments.len(), 1);
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn chained_exchanges() {
+        // scan -> exchange(hash) -> sort? no: filter -> exchange(single) -> limit
+        let s = scan(Distribution::Hash(vec![0]));
+        let ex1 = node(
+            PhysOp::Exchange { input: s, to: Distribution::Hash(vec![0]) },
+            Distribution::Hash(vec![0]),
+        );
+        let f = node(
+            PhysOp::Filter { input: ex1, predicate: ic_common::Expr::lit(true) },
+            Distribution::Hash(vec![0]),
+        );
+        let ex2 = node(
+            PhysOp::Exchange { input: f, to: Distribution::Single },
+            Distribution::Single,
+        );
+        let sort = node(PhysOp::Sort { input: ex2, keys: vec![SortKey::asc(0)] }, Distribution::Single);
+        let topo = Topology::new(2);
+        let (fragments, _) = fragment_plan(&sort, &topo);
+        assert_eq!(fragments.len(), 3);
+        // middle fragment (filter) runs at all sites, sinks into exchange 2
+        let middle = fragments.iter().find(|fr| matches!(&fr.root.op, PhysOp::Filter { .. })).unwrap();
+        assert_eq!(middle.sites.len(), 2);
+    }
+}

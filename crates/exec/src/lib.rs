@@ -1,0 +1,18 @@
+//! The distributed execution engine — Ignite's execution substrate.
+//!
+//! An optimized physical plan is cut into *fragments* at its exchange
+//! operators (Algorithm 1, §3.2.3); each fragment is instantiated at its
+//! processing sites (one thread per instance), exchanges become
+//! sender/receiver pairs over the simulated network, and — in IC+M mode —
+//! eligible fragments are duplicated into *variant fragments* whose
+//! splitter/duplicator sources create runtime sub-partitions
+//! (Algorithm 3, §5.3).
+
+pub mod fragment;
+pub mod operators;
+pub mod runtime;
+pub mod variant;
+
+pub use fragment::{fragment_plan, Fragment, FragmentId, Sink};
+pub use runtime::{execute_plan, ExecOptions, QueryStats};
+pub use variant::{plan_variants, SourceMode};

@@ -1,0 +1,1213 @@
+//! Physical operator implementations: pull-based batch iterators
+//! (Volcano-style execution, batched to amortize channel overhead).
+
+use ic_common::agg::Accumulator;
+use ic_common::row::BATCH_SIZE;
+use ic_common::{Batch, Datum, Expr, IcError, IcResult, Row};
+use ic_plan::ops::{AggCall, AggPhase, JoinKind, SortKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared per-query control: wall-clock deadline (the paper's runtime
+/// limit) and a cancellation flag set when any fragment fails.
+#[derive(Debug)]
+pub struct ControlBlock {
+    pub deadline: Option<Instant>,
+    pub cancelled: AtomicBool,
+    pub limit_ms: u64,
+    /// Cells (rows × columns) currently buffered by blocking operators
+    /// across the whole query (join builds, sorts, aggregates). Exceeding
+    /// `memory_limit_rows` aborts with [`IcError::MemoryLimit`] — the
+    /// graceful version of Ignite hitting its resource limits on a bad
+    /// plan.
+    pub buffered_rows: AtomicU64,
+    pub memory_limit_rows: u64,
+}
+
+impl ControlBlock {
+    pub fn new(deadline: Option<Instant>, limit_ms: u64) -> Arc<ControlBlock> {
+        Self::with_memory_limit(deadline, limit_ms, u64::MAX)
+    }
+
+    pub fn with_memory_limit(
+        deadline: Option<Instant>,
+        limit_ms: u64,
+        memory_limit_rows: u64,
+    ) -> Arc<ControlBlock> {
+        Arc::new(ControlBlock {
+            deadline,
+            cancelled: AtomicBool::new(false),
+            limit_ms,
+            buffered_rows: AtomicU64::new(0),
+            memory_limit_rows,
+        })
+    }
+
+    /// Account for a batch buffered in operator state (cells = rows × width).
+    pub fn reserve_batch(&self, batch: &[Row]) -> IcResult<()> {
+        let cells = batch.first().map_or(0, |r| r.arity().max(1)) * batch.len();
+        self.reserve(cells)
+    }
+
+    /// Account for `n` buffered cells.
+    pub fn reserve(&self, n: usize) -> IcResult<()> {
+        let total = self.buffered_rows.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+        if total > self.memory_limit_rows {
+            self.cancel();
+            return Err(IcError::MemoryLimit { limit_rows: self.memory_limit_rows });
+        }
+        Ok(())
+    }
+
+    /// Check for timeout/cancellation; call this in every operator loop.
+    pub fn check(&self) -> IcResult<()> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(IcError::Exec("query cancelled".into()));
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(IcError::ExecTimeout { limit_ms: self.limit_ms });
+            }
+        }
+        Ok(())
+    }
+
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A pull-based batch stream.
+pub trait RowSource: Send {
+    /// The next batch, or `None` at end of stream.
+    fn next_batch(&mut self) -> IcResult<Option<Batch>>;
+}
+
+pub type BoxedSource = Box<dyn RowSource>;
+
+/// Drain a source into a vector.
+pub fn drain(mut src: BoxedSource) -> IcResult<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(b) = src.next_batch()? {
+        out.extend(b);
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------- sources
+
+/// In-memory source (tests, Values).
+pub struct VecSource {
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl VecSource {
+    pub fn new(rows: Vec<Row>) -> VecSource {
+        VecSource { rows: rows.into_iter() }
+    }
+}
+
+impl RowSource for VecSource {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        let batch: Batch = self.rows.by_ref().take(BATCH_SIZE).collect();
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+/// Scan over partition snapshots with §5.3.2 variant splitting: a splitter
+/// reads the whole partition but passes only every `n`-th tuple.
+pub struct ScanSource {
+    partitions: Vec<Arc<Vec<Row>>>,
+    part: usize,
+    idx: usize,
+    /// (variant_id, total_variants); `None` passes everything.
+    split: Option<(usize, usize)>,
+    counter: usize,
+    predicate: Option<Expr>,
+    ctrl: Arc<ControlBlock>,
+}
+
+impl ScanSource {
+    pub fn new(
+        partitions: Vec<Arc<Vec<Row>>>,
+        split: Option<(usize, usize)>,
+        ctrl: Arc<ControlBlock>,
+    ) -> ScanSource {
+        ScanSource { partitions, part: 0, idx: 0, split, counter: 0, predicate: None, ctrl }
+    }
+}
+
+impl RowSource for ScanSource {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        self.ctrl.check()?;
+        let mut batch = Batch::with_capacity(BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            if self.part >= self.partitions.len() {
+                break;
+            }
+            let rows = &self.partitions[self.part];
+            if self.idx >= rows.len() {
+                self.part += 1;
+                self.idx = 0;
+                continue;
+            }
+            let row = &rows[self.idx];
+            self.idx += 1;
+            let keep = match self.split {
+                Some((vid, n)) => {
+                    let keep = self.counter % n == vid;
+                    self.counter += 1;
+                    keep
+                }
+                None => true,
+            };
+            if keep {
+                if let Some(p) = &self.predicate {
+                    if !p.eval_filter(row)? {
+                        continue;
+                    }
+                }
+                batch.push(row.clone());
+            }
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+/// K-way merge over sorted partition snapshots (index scans at sites
+/// holding several partitions). Variant splitting preserves order (a
+/// subsequence of a sorted run is sorted).
+pub struct MergingIndexScan {
+    runs: Vec<(Arc<Vec<Row>>, usize)>,
+    key_cols: Vec<usize>,
+    split: Option<(usize, usize)>,
+    counter: usize,
+    ctrl: Arc<ControlBlock>,
+}
+
+impl MergingIndexScan {
+    pub fn new(
+        runs: Vec<Arc<Vec<Row>>>,
+        key_cols: Vec<usize>,
+        split: Option<(usize, usize)>,
+        ctrl: Arc<ControlBlock>,
+    ) -> MergingIndexScan {
+        MergingIndexScan {
+            runs: runs.into_iter().map(|r| (r, 0)).collect(),
+            key_cols,
+            split,
+            counter: 0,
+            ctrl,
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Row> {
+        let mut best: Option<(usize, &Row)> = None;
+        for (i, (run, pos)) in self.runs.iter().enumerate() {
+            if let Some(row) = run.get(*pos) {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => {
+                        row.project(&self.key_cols) < b.project(&self.key_cols)
+                    }
+                };
+                if better {
+                    best = Some((i, row));
+                }
+            }
+        }
+        let (i, _) = best?;
+        let row = self.runs[i].0[self.runs[i].1].clone();
+        self.runs[i].1 += 1;
+        Some(row)
+    }
+}
+
+impl RowSource for MergingIndexScan {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        self.ctrl.check()?;
+        let mut batch = Batch::with_capacity(BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            let Some(row) = self.pop_min() else { break };
+            let keep = match self.split {
+                Some((vid, n)) => {
+                    let keep = self.counter % n == vid;
+                    self.counter += 1;
+                    keep
+                }
+                None => true,
+            };
+            if keep {
+                batch.push(row);
+            }
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+// ------------------------------------------------------------ row shapers
+
+pub struct FilterExec {
+    pub input: BoxedSource,
+    pub predicate: Expr,
+    pub ctrl: Arc<ControlBlock>,
+}
+
+impl RowSource for FilterExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        loop {
+            self.ctrl.check()?;
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let mut out = Batch::with_capacity(batch.len());
+            for row in batch {
+                if self.predicate.eval_filter(&row)? {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+pub struct ProjectExec {
+    pub input: BoxedSource,
+    pub exprs: Vec<Expr>,
+    pub ctrl: Arc<ControlBlock>,
+}
+
+impl RowSource for ProjectExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        self.ctrl.check()?;
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+        let mut out = Batch::with_capacity(batch.len());
+        for row in batch {
+            let vals: Vec<Datum> = self.exprs.iter().map(|e| e.eval(&row)).collect::<IcResult<_>>()?;
+            out.push(Row(vals));
+        }
+        Ok(Some(out))
+    }
+}
+
+// ----------------------------------------------------------------- joins
+
+/// Shared join emission logic for one probe row against its matches.
+fn emit_matches(
+    kind: JoinKind,
+    left_row: &Row,
+    matches: &mut dyn Iterator<Item = &Row>,
+    residual: Option<&Expr>,
+    right_arity: usize,
+    out: &mut Batch,
+) -> IcResult<()> {
+    match kind {
+        JoinKind::Inner | JoinKind::Left => {
+            let mut any = false;
+            for r in matches {
+                let joined = left_row.concat(r);
+                if let Some(res) = residual {
+                    if !res.eval_filter(&joined)? {
+                        continue;
+                    }
+                }
+                any = true;
+                out.push(joined);
+            }
+            if !any && kind == JoinKind::Left {
+                let nulls = Row(vec![Datum::Null; right_arity]);
+                out.push(left_row.concat(&nulls));
+            }
+        }
+        JoinKind::Semi | JoinKind::Anti => {
+            let mut any = false;
+            for r in matches {
+                let joined = left_row.concat(r);
+                match residual {
+                    Some(res) if !res.eval_filter(&joined)? => continue,
+                    _ => {
+                        any = true;
+                        break;
+                    }
+                }
+            }
+            if any == (kind == JoinKind::Semi) {
+                out.push(left_row.clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Nested-loop join: buffers the right side, streams the left. Output is
+/// produced in bounded batches — the loop state (left batch position,
+/// right position) persists across `next_batch` calls so a high-fan-out
+/// join never materializes more than one batch of output.
+pub struct NestedLoopJoinExec {
+    pub left: BoxedSource,
+    pub right: BoxedSource,
+    pub kind: JoinKind,
+    pub on: Expr,
+    pub right_arity: usize,
+    right_rows: Option<Vec<Row>>,
+    current: Option<Batch>,
+    li: usize,
+    ri: usize,
+    matched: bool,
+    pub ctrl: Arc<ControlBlock>,
+}
+
+impl NestedLoopJoinExec {
+    pub fn new(
+        left: BoxedSource,
+        right: BoxedSource,
+        kind: JoinKind,
+        on: Expr,
+        right_arity: usize,
+        ctrl: Arc<ControlBlock>,
+    ) -> Self {
+        NestedLoopJoinExec {
+            left,
+            right,
+            kind,
+            on,
+            right_arity,
+            right_rows: None,
+            current: None,
+            li: 0,
+            ri: 0,
+            matched: false,
+            ctrl,
+        }
+    }
+}
+
+impl RowSource for NestedLoopJoinExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if self.right_rows.is_none() {
+            let mut rows = Vec::new();
+            while let Some(b) = self.right.next_batch()? {
+                self.ctrl.check()?;
+                self.ctrl.reserve_batch(&b)?;
+                rows.extend(b);
+            }
+            self.right_rows = Some(rows);
+        }
+        let right = self.right_rows.as_ref().unwrap();
+        let mut out = Batch::new();
+        loop {
+            if self.current.is_none() {
+                match self.left.next_batch()? {
+                    Some(b) => {
+                        self.current = Some(b);
+                        self.li = 0;
+                        self.ri = 0;
+                        self.matched = false;
+                    }
+                    None => {
+                        return Ok(if out.is_empty() { None } else { Some(out) });
+                    }
+                }
+            }
+            let batch = self.current.as_ref().unwrap();
+            while self.li < batch.len() {
+                let left_row = &batch[self.li];
+                self.ctrl.check()?;
+                while self.ri < right.len() {
+                    let r = &right[self.ri];
+                    self.ri += 1;
+                    let joined = left_row.concat(r);
+                    if !self.on.eval_filter(&joined)? {
+                        continue;
+                    }
+                    match self.kind {
+                        JoinKind::Inner | JoinKind::Left => {
+                            self.matched = true;
+                            out.push(joined);
+                            if out.len() >= BATCH_SIZE {
+                                return Ok(Some(out));
+                            }
+                        }
+                        JoinKind::Semi => {
+                            out.push(left_row.clone());
+                            self.matched = true;
+                            self.ri = right.len(); // short-circuit
+                        }
+                        JoinKind::Anti => {
+                            self.matched = true;
+                            self.ri = right.len();
+                        }
+                    }
+                }
+                // End of the right side for this left row.
+                match self.kind {
+                    JoinKind::Left if !self.matched => {
+                        let nulls = Row(vec![Datum::Null; self.right_arity]);
+                        out.push(left_row.concat(&nulls));
+                    }
+                    JoinKind::Anti if !self.matched => out.push(left_row.clone()),
+                    _ => {}
+                }
+                self.li += 1;
+                self.ri = 0;
+                self.matched = false;
+                if out.len() >= BATCH_SIZE {
+                    return Ok(Some(out));
+                }
+            }
+            self.current = None;
+        }
+    }
+}
+
+/// Hash join (§5.1.2): builds on the right input, probes with the left.
+pub struct HashJoinExec {
+    pub left: BoxedSource,
+    pub right: BoxedSource,
+    pub kind: JoinKind,
+    pub left_keys: Vec<usize>,
+    pub right_keys: Vec<usize>,
+    pub residual: Expr,
+    pub right_arity: usize,
+    table: Option<HashMap<Vec<Datum>, Vec<Row>>>,
+    /// Probe batch being processed and the next row within it, so that
+    /// high-fan-out probes resume across bounded output batches.
+    current: Option<Batch>,
+    li: usize,
+    pub ctrl: Arc<ControlBlock>,
+}
+
+impl HashJoinExec {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxedSource,
+        right: BoxedSource,
+        kind: JoinKind,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Expr,
+        right_arity: usize,
+        ctrl: Arc<ControlBlock>,
+    ) -> Self {
+        HashJoinExec {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            right_arity,
+            table: None,
+            current: None,
+            li: 0,
+            ctrl,
+        }
+    }
+}
+
+impl RowSource for HashJoinExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if self.table.is_none() {
+            // Build phase.
+            let mut table: HashMap<Vec<Datum>, Vec<Row>> = HashMap::new();
+            while let Some(b) = self.right.next_batch()? {
+                self.ctrl.check()?;
+                self.ctrl.reserve_batch(&b)?;
+                for row in b {
+                    let key: Vec<Datum> =
+                        self.right_keys.iter().map(|&c| row.0[c].clone()).collect();
+                    if key.iter().any(Datum::is_null) {
+                        continue; // NULL keys never match
+                    }
+                    table.entry(key).or_default().push(row);
+                }
+            }
+            self.table = Some(table);
+        }
+        let table = self.table.as_ref().unwrap();
+        let residual = if self.residual.is_true_literal() {
+            None
+        } else {
+            Some(self.residual.clone())
+        };
+        let mut out = Batch::new();
+        static EMPTY: Vec<Row> = Vec::new();
+        loop {
+            self.ctrl.check()?;
+            if self.current.is_none() {
+                match self.left.next_batch()? {
+                    Some(b) => {
+                        self.current = Some(b);
+                        self.li = 0;
+                    }
+                    None => return Ok(if out.is_empty() { None } else { Some(out) }),
+                }
+            }
+            let batch = self.current.as_ref().unwrap();
+            while self.li < batch.len() {
+                let left_row = &batch[self.li];
+                self.li += 1;
+                let key: Vec<Datum> =
+                    self.left_keys.iter().map(|&c| left_row.0[c].clone()).collect();
+                let candidates = if key.iter().any(Datum::is_null) {
+                    &EMPTY
+                } else {
+                    table.get(&key).unwrap_or(&EMPTY)
+                };
+                emit_matches(
+                    self.kind,
+                    left_row,
+                    &mut candidates.iter(),
+                    residual.as_ref(),
+                    self.right_arity,
+                    &mut out,
+                )?;
+                if out.len() >= BATCH_SIZE {
+                    return Ok(Some(out));
+                }
+            }
+            self.current = None;
+        }
+    }
+}
+
+/// Merge join: inputs sorted on the keys; buffers both sides and merges
+/// key groups.
+pub struct MergeJoinExec {
+    pub left: BoxedSource,
+    pub right: BoxedSource,
+    pub kind: JoinKind,
+    pub left_keys: Vec<usize>,
+    pub right_keys: Vec<usize>,
+    pub residual: Expr,
+    pub right_arity: usize,
+    pub ctrl: Arc<ControlBlock>,
+    done: bool,
+    output: std::collections::VecDeque<Batch>,
+}
+
+impl MergeJoinExec {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: BoxedSource,
+        right: BoxedSource,
+        kind: JoinKind,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Expr,
+        right_arity: usize,
+        ctrl: Arc<ControlBlock>,
+    ) -> Self {
+        MergeJoinExec {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            right_arity,
+            ctrl,
+            done: false,
+            output: Default::default(),
+        }
+    }
+
+    fn run_merge(&mut self) -> IcResult<()> {
+        let mut lrows = Vec::new();
+        while let Some(b) = self.left.next_batch()? {
+            self.ctrl.check()?;
+            self.ctrl.reserve_batch(&b)?;
+            lrows.extend(b);
+        }
+        let mut rrows = Vec::new();
+        while let Some(b) = self.right.next_batch()? {
+            self.ctrl.check()?;
+            self.ctrl.reserve_batch(&b)?;
+            rrows.extend(b);
+        }
+        let lkey = |r: &Row| r.project(&self.left_keys);
+        let rkey = |r: &Row| r.project(&self.right_keys);
+        let residual = if self.residual.is_true_literal() { None } else { Some(self.residual.clone()) };
+        let mut out = Batch::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lrows.len() {
+            self.ctrl.check()?;
+            let k = lkey(&lrows[i]);
+            if k.0.iter().any(Datum::is_null) {
+                // NULL keys match nothing.
+                emit_matches(self.kind, &lrows[i], &mut std::iter::empty(), None, self.right_arity, &mut out)?;
+                i += 1;
+                continue;
+            }
+            // Advance right to the first key >= k.
+            while j < rrows.len() && rkey(&rrows[j]) < k {
+                j += 1;
+            }
+            // Right group equal to k.
+            let mut j2 = j;
+            while j2 < rrows.len() && rkey(&rrows[j2]) == k {
+                j2 += 1;
+            }
+            let group = &rrows[j..j2];
+            emit_matches(
+                self.kind,
+                &lrows[i],
+                &mut group.iter(),
+                residual.as_ref(),
+                self.right_arity,
+                &mut out,
+            )?;
+            if out.len() >= BATCH_SIZE {
+                self.ctrl.reserve_batch(&out)?;
+                self.output.push_back(std::mem::take(&mut out));
+            }
+            i += 1;
+        }
+        if !out.is_empty() {
+            self.output.push_back(out);
+        }
+        Ok(())
+    }
+}
+
+impl RowSource for MergeJoinExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if !self.done {
+            self.run_merge()?;
+            self.done = true;
+        }
+        Ok(self.output.pop_front())
+    }
+}
+
+// ------------------------------------------------------------- aggregates
+
+/// Hash aggregate in any phase (§3.2's map-reduce split).
+pub struct HashAggExec {
+    pub input: BoxedSource,
+    pub group: Vec<usize>,
+    pub aggs: Vec<AggCall>,
+    pub phase: AggPhase,
+    pub ctrl: Arc<ControlBlock>,
+    done: bool,
+    output: std::collections::VecDeque<Batch>,
+}
+
+impl HashAggExec {
+    pub fn new(
+        input: BoxedSource,
+        group: Vec<usize>,
+        aggs: Vec<AggCall>,
+        phase: AggPhase,
+        ctrl: Arc<ControlBlock>,
+    ) -> Self {
+        HashAggExec { input, group, aggs, phase, ctrl, done: false, output: Default::default() }
+    }
+
+    fn update_group(&self, accs: &mut [Accumulator], row: &Row) -> IcResult<()> {
+        match self.phase {
+            AggPhase::Complete | AggPhase::Partial => {
+                for (acc, call) in accs.iter_mut().zip(&self.aggs) {
+                    let v = match &call.arg {
+                        Some(e) => e.eval(row)?,
+                        None => Datum::Int(1), // COUNT(*)
+                    };
+                    acc.update(v)?;
+                }
+            }
+            AggPhase::Final => {
+                // Row layout: group keys then accumulator states.
+                let mut pos = self.group.len();
+                for (acc, call) in accs.iter_mut().zip(&self.aggs) {
+                    let w = Accumulator::state_width(call.func);
+                    let state = &row.0[pos..pos + w];
+                    acc.merge(Accumulator::from_state(call.func, state)?)?;
+                    pos += w;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_group(&self, key: Vec<Datum>, accs: &[Accumulator], out: &mut Batch) {
+        let mut vals = key;
+        match self.phase {
+            AggPhase::Complete | AggPhase::Final => {
+                vals.extend(accs.iter().map(Accumulator::finish));
+            }
+            AggPhase::Partial => {
+                for acc in accs {
+                    vals.extend(acc.to_state());
+                }
+            }
+        }
+        out.push(Row(vals));
+    }
+
+    fn run(&mut self) -> IcResult<()> {
+        let mut groups: HashMap<Vec<Datum>, Vec<Accumulator>> = HashMap::new();
+        let fresh = |aggs: &[AggCall]| -> Vec<Accumulator> {
+            aggs.iter().map(|a| Accumulator::new(a.func)).collect()
+        };
+        while let Some(batch) = self.input.next_batch()? {
+            self.ctrl.check()?;
+            let before = groups.len();
+            for row in batch {
+                let key: Vec<Datum> = self.group.iter().map(|&c| row.0[c].clone()).collect();
+                let accs = groups.entry(key).or_insert_with(|| fresh(&self.aggs));
+                self.update_group(accs, &row)?;
+            }
+            let width = self.group.len() + self.aggs.len() * 2 + 1;
+            self.ctrl.reserve((groups.len() - before) * width)?;
+        }
+        // Scalar aggregates emit one row even on empty input.
+        if self.group.is_empty() && groups.is_empty() {
+            groups.insert(vec![], fresh(&self.aggs));
+        }
+        let mut out = Batch::new();
+        for (key, accs) in groups {
+            self.finish_group(key, &accs, &mut out);
+            if out.len() >= BATCH_SIZE {
+                self.output.push_back(std::mem::take(&mut out));
+            }
+        }
+        if !out.is_empty() {
+            self.output.push_back(out);
+        }
+        Ok(())
+    }
+}
+
+impl RowSource for HashAggExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if !self.done {
+            self.run()?;
+            self.done = true;
+        }
+        Ok(self.output.pop_front())
+    }
+}
+
+/// Streaming aggregate over input sorted on the group keys (the paper's
+/// "sort-based aggregation on an already sorted input", §6.2.1 / Q14).
+pub struct SortAggExec {
+    inner: HashAggExec,
+    current_key: Option<Vec<Datum>>,
+    current_accs: Vec<Accumulator>,
+    pending: Option<Batch>,
+    exhausted: bool,
+}
+
+impl SortAggExec {
+    pub fn new(
+        input: BoxedSource,
+        group: Vec<usize>,
+        aggs: Vec<AggCall>,
+        phase: AggPhase,
+        ctrl: Arc<ControlBlock>,
+    ) -> Self {
+        SortAggExec {
+            inner: HashAggExec::new(input, group, aggs, phase, ctrl),
+            current_key: None,
+            current_accs: vec![],
+            pending: None,
+            exhausted: false,
+        }
+    }
+}
+
+impl RowSource for SortAggExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if self.exhausted {
+            return Ok(self.pending.take());
+        }
+        let mut out = Batch::new();
+        loop {
+            self.inner.ctrl.check()?;
+            match self.inner.input.next_batch()? {
+                Some(batch) => {
+                    for row in batch {
+                        let key: Vec<Datum> =
+                            self.inner.group.iter().map(|&c| row.0[c].clone()).collect();
+                        if self.current_key.as_ref() != Some(&key) {
+                            if let Some(k) = self.current_key.take() {
+                                self.inner.finish_group(k, &self.current_accs, &mut out);
+                            }
+                            self.current_key = Some(key);
+                            self.current_accs = self
+                                .inner
+                                .aggs
+                                .iter()
+                                .map(|a| Accumulator::new(a.func))
+                                .collect();
+                        }
+                        self.inner.update_group(&mut self.current_accs, &row)?;
+                    }
+                    if out.len() >= BATCH_SIZE {
+                        return Ok(Some(out));
+                    }
+                }
+                None => {
+                    self.exhausted = true;
+                    if let Some(k) = self.current_key.take() {
+                        self.inner.finish_group(k, &self.current_accs, &mut out);
+                    } else if self.inner.group.is_empty() {
+                        let accs: Vec<Accumulator> = self
+                            .inner
+                            .aggs
+                            .iter()
+                            .map(|a| Accumulator::new(a.func))
+                            .collect();
+                        self.inner.finish_group(vec![], &accs, &mut out);
+                    }
+                    return Ok(if out.is_empty() { None } else { Some(out) });
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- sort/limit/values
+
+pub struct SortExec {
+    pub input: BoxedSource,
+    pub keys: Vec<SortKey>,
+    pub ctrl: Arc<ControlBlock>,
+    done: bool,
+    output: std::collections::VecDeque<Batch>,
+}
+
+impl SortExec {
+    pub fn new(input: BoxedSource, keys: Vec<SortKey>, ctrl: Arc<ControlBlock>) -> SortExec {
+        SortExec { input, keys, ctrl, done: false, output: Default::default() }
+    }
+}
+
+impl RowSource for SortExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        if !self.done {
+            let mut rows = Vec::new();
+            while let Some(b) = self.input.next_batch()? {
+                self.ctrl.check()?;
+                self.ctrl.reserve_batch(&b)?;
+                rows.extend(b);
+            }
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| {
+                for k in &keys {
+                    let ord = a.0[k.col].cmp(&b.0[k.col]);
+                    let ord = if k.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            for chunk in rows.chunks(BATCH_SIZE) {
+                self.output.push_back(chunk.to_vec());
+            }
+            self.done = true;
+        }
+        Ok(self.output.pop_front())
+    }
+}
+
+pub struct LimitExec {
+    pub input: BoxedSource,
+    pub fetch: Option<u64>,
+    pub offset: u64,
+    skipped: u64,
+    emitted: u64,
+    pub ctrl: Arc<ControlBlock>,
+}
+
+impl LimitExec {
+    pub fn new(input: BoxedSource, fetch: Option<u64>, offset: u64, ctrl: Arc<ControlBlock>) -> Self {
+        LimitExec { input, fetch, offset, skipped: 0, emitted: 0, ctrl }
+    }
+}
+
+impl RowSource for LimitExec {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        loop {
+            self.ctrl.check()?;
+            if let Some(f) = self.fetch {
+                if self.emitted >= f {
+                    return Ok(None);
+                }
+            }
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let mut out = Batch::new();
+            for row in batch {
+                if self.skipped < self.offset {
+                    self.skipped += 1;
+                    continue;
+                }
+                if let Some(f) = self.fetch {
+                    if self.emitted >= f {
+                        break;
+                    }
+                }
+                self.emitted += 1;
+                out.push(row);
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> Arc<ControlBlock> {
+        ControlBlock::new(None, 0)
+    }
+
+    fn rows(vals: &[&[i64]]) -> Vec<Row> {
+        vals.iter()
+            .map(|r| Row(r.iter().map(|&v| Datum::Int(v)).collect()))
+            .collect()
+    }
+
+    fn src(vals: &[&[i64]]) -> BoxedSource {
+        Box::new(VecSource::new(rows(vals)))
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let f = FilterExec {
+            input: src(&[&[1, 10], &[2, 20], &[3, 30]]),
+            predicate: Expr::binary(ic_common::BinOp::Gt, Expr::col(0), Expr::lit(1i64)),
+            ctrl: ctrl(),
+        };
+        let p = ProjectExec {
+            input: Box::new(f),
+            exprs: vec![Expr::col(1)],
+            ctrl: ctrl(),
+        };
+        assert_eq!(drain(Box::new(p)).unwrap(), rows(&[&[20], &[30]]));
+    }
+
+    #[test]
+    fn hash_join_kinds() {
+        let mk = |kind| {
+            HashJoinExec::new(
+                src(&[&[1], &[2], &[3]]),
+                src(&[&[2, 20], &[3, 30], &[3, 31]]),
+                kind,
+                vec![0],
+                vec![0],
+                Expr::lit(true),
+                2,
+                ctrl(),
+            )
+        };
+        assert_eq!(
+            drain(Box::new(mk(JoinKind::Inner))).unwrap(),
+            rows(&[&[2, 2, 20], &[3, 3, 30], &[3, 3, 31]])
+        );
+        let left = drain(Box::new(mk(JoinKind::Left))).unwrap();
+        assert_eq!(left.len(), 4);
+        assert!(left[0].0[1].is_null()); // 1 null-extended
+        assert_eq!(drain(Box::new(mk(JoinKind::Semi))).unwrap(), rows(&[&[2], &[3]]));
+        assert_eq!(drain(Box::new(mk(JoinKind::Anti))).unwrap(), rows(&[&[1]]));
+    }
+
+    #[test]
+    fn hash_join_residual() {
+        let hj = HashJoinExec::new(
+            src(&[&[1, 5]]),
+            src(&[&[1, 3], &[1, 9]]),
+            JoinKind::Inner,
+            vec![0],
+            vec![0],
+            // l.c1 > r.c1  (cols: l0 l1 r0 r1)
+            Expr::binary(ic_common::BinOp::Gt, Expr::col(1), Expr::col(3)),
+            2,
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(hj)).unwrap(), rows(&[&[1, 5, 1, 3]]));
+    }
+
+    #[test]
+    fn nlj_matches_hash_join() {
+        let on = Expr::eq(Expr::col(0), Expr::col(1));
+        let nlj = NestedLoopJoinExec::new(
+            src(&[&[1], &[2], &[3]]),
+            src(&[&[2], &[3]]),
+            JoinKind::Inner,
+            on,
+            1,
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(nlj)).unwrap(), rows(&[&[2, 2], &[3, 3]]));
+    }
+
+    #[test]
+    fn merge_join_sorted_inputs() {
+        let mj = MergeJoinExec::new(
+            src(&[&[1], &[2], &[2], &[4]]),
+            src(&[&[2, 20], &[3, 30], &[4, 40]]),
+            JoinKind::Inner,
+            vec![0],
+            vec![0],
+            Expr::lit(true),
+            2,
+            ctrl(),
+        );
+        assert_eq!(
+            drain(Box::new(mj)).unwrap(),
+            rows(&[&[2, 2, 20], &[2, 2, 20], &[4, 4, 40]])
+        );
+        // Anti join keeps unmatched left rows.
+        let mj = MergeJoinExec::new(
+            src(&[&[1], &[2], &[4]]),
+            src(&[&[2, 0]]),
+            JoinKind::Anti,
+            vec![0],
+            vec![0],
+            Expr::lit(true),
+            2,
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(mj)).unwrap(), rows(&[&[1], &[4]]));
+    }
+
+    #[test]
+    fn hash_agg_complete() {
+        use ic_common::agg::AggFunc;
+        let agg = HashAggExec::new(
+            src(&[&[1, 10], &[1, 20], &[2, 5]]),
+            vec![0],
+            vec![AggCall { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() }],
+            AggPhase::Complete,
+            ctrl(),
+        );
+        let mut out = drain(Box::new(agg)).unwrap();
+        out.sort();
+        assert_eq!(out, rows(&[&[1, 30], &[2, 5]]));
+    }
+
+    #[test]
+    fn partial_final_roundtrip() {
+        use ic_common::agg::AggFunc;
+        let aggs = vec![
+            AggCall { func: AggFunc::Avg, arg: Some(Expr::col(1)), name: "a".into() },
+            AggCall { func: AggFunc::CountStar, arg: None, name: "c".into() },
+        ];
+        // Two partials over disjoint halves.
+        let p1 = HashAggExec::new(
+            src(&[&[1, 10], &[2, 8]]),
+            vec![0],
+            aggs.clone(),
+            AggPhase::Partial,
+            ctrl(),
+        );
+        let p2 = HashAggExec::new(
+            src(&[&[1, 30]]),
+            vec![0],
+            aggs.clone(),
+            AggPhase::Partial,
+            ctrl(),
+        );
+        let mut partial_rows = drain(Box::new(p1)).unwrap();
+        partial_rows.extend(drain(Box::new(p2)).unwrap());
+        let fin = HashAggExec::new(
+            Box::new(VecSource::new(partial_rows)),
+            vec![0],
+            aggs,
+            AggPhase::Final,
+            ctrl(),
+        );
+        let mut out = drain(Box::new(fin)).unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                Row(vec![Datum::Int(1), Datum::Double(20.0), Datum::Int(2)]),
+                Row(vec![Datum::Int(2), Datum::Double(8.0), Datum::Int(1)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_agg_empty_input() {
+        use ic_common::agg::AggFunc;
+        let agg = HashAggExec::new(
+            src(&[]),
+            vec![],
+            vec![AggCall { func: AggFunc::CountStar, arg: None, name: "c".into() }],
+            AggPhase::Complete,
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(agg)).unwrap(), rows(&[&[0]]));
+    }
+
+    #[test]
+    fn sort_agg_streams_groups() {
+        use ic_common::agg::AggFunc;
+        let agg = SortAggExec::new(
+            src(&[&[1, 10], &[1, 20], &[2, 5], &[3, 1]]),
+            vec![0],
+            vec![AggCall { func: AggFunc::Max, arg: Some(Expr::col(1)), name: "m".into() }],
+            AggPhase::Complete,
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(agg)).unwrap(), rows(&[&[1, 20], &[2, 5], &[3, 1]]));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let s = SortExec::new(
+            src(&[&[3], &[1], &[2]]),
+            vec![SortKey::desc(0)],
+            ctrl(),
+        );
+        let l = LimitExec::new(Box::new(s), Some(2), 1, ctrl());
+        assert_eq!(drain(Box::new(l)).unwrap(), rows(&[&[2], &[1]]));
+    }
+
+    #[test]
+    fn scan_variant_splitting_partitions_rows() {
+        let data = Arc::new((0..10i64).map(|i| Row(vec![Datum::Int(i)])).collect::<Vec<_>>());
+        let v0 = ScanSource::new(vec![data.clone()], Some((0, 2)), ctrl());
+        let v1 = ScanSource::new(vec![data.clone()], Some((1, 2)), ctrl());
+        let r0 = drain(Box::new(v0)).unwrap();
+        let r1 = drain(Box::new(v1)).unwrap();
+        assert_eq!(r0.len(), 5);
+        assert_eq!(r1.len(), 5);
+        let mut all: Vec<Row> = r0.into_iter().chain(r1).collect();
+        all.sort();
+        assert_eq!(all, *data);
+    }
+
+    #[test]
+    fn merging_index_scan_merges_runs() {
+        let a = Arc::new(rows(&[&[1], &[4], &[7]]));
+        let b = Arc::new(rows(&[&[2], &[3], &[9]]));
+        let m = MergingIndexScan::new(vec![a, b], vec![0], None, ctrl());
+        let out = drain(Box::new(m)).unwrap();
+        let vals: Vec<i64> = out.iter().map(|r| r.0[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let ctrl = ControlBlock::new(Some(Instant::now() - std::time::Duration::from_secs(1)), 5);
+        let mut s = ScanSource::new(vec![Arc::new(rows(&[&[1]]))], None, ctrl);
+        assert!(matches!(s.next_batch(), Err(IcError::ExecTimeout { .. })));
+    }
+
+    #[test]
+    fn cancellation_aborts() {
+        let c = ctrl();
+        c.cancel();
+        let mut s = ScanSource::new(vec![Arc::new(rows(&[&[1]]))], None, c);
+        assert!(s.next_batch().is_err());
+    }
+}

@@ -1,0 +1,623 @@
+//! Query runtime: instantiate fragments at their sites (× variants), wire
+//! exchanges through the simulated network, run every instance on its own
+//! thread (§3.2.3's "each fragment is executed in a dedicated thread"),
+//! and collect the root fragment's rows.
+
+use crate::fragment::{fragment_plan, ExchangeId, ExchangeRegistry, Sink};
+use crate::operators::*;
+use crate::variant::{plan_variants, SourceMode, VariantPlan};
+use ic_common::{Batch, IcError, IcResult, Row};
+use ic_net::{net_channel, NetReceiver, NetSender, Network, SiteId, Topology, WireSize};
+use ic_plan::ops::{PhysOp, PhysPlan};
+use ic_plan::Distribution;
+use ic_storage::{Catalog, TableDistribution};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Variant fragments per eligible fragment (§5.3); 1 disables.
+    pub variant_fragments: usize,
+    /// Wall-clock execution limit (the paper's runtime cap).
+    pub timeout: Option<Duration>,
+    /// Exchange backpressure window, in batches.
+    pub channel_window: usize,
+    /// Buffered-cell (rows × columns) memory budget per query (Ignite's
+    /// resource limit).
+    pub memory_limit_rows: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            variant_fragments: 1,
+            timeout: None,
+            channel_window: 16,
+            memory_limit_rows: 60_000_000,
+        }
+    }
+}
+
+/// Telemetry for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    pub fragments: usize,
+    pub threads: usize,
+    pub net_messages: u64,
+    pub net_bytes: u64,
+    pub elapsed: Duration,
+}
+
+/// A message on an exchange link.
+pub enum Msg {
+    Batch(Batch),
+    Eof,
+}
+
+impl WireSize for Msg {
+    fn wire_size(&self) -> usize {
+        match self {
+            Msg::Batch(b) => b.wire_size(),
+            Msg::Eof => 8,
+        }
+    }
+}
+
+/// Deep-copy a plan so that every node has a unique identity — the
+/// optimizer's memo can share subtrees (e.g. self-joins), but each
+/// occurrence must become its own fragment/exchange at runtime.
+fn uniquify(plan: &Arc<PhysPlan>) -> Arc<PhysPlan> {
+    let op = match &plan.op {
+        PhysOp::TableScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {
+            plan.op.clone()
+        }
+        PhysOp::Filter { input, predicate } => PhysOp::Filter {
+            input: uniquify(input),
+            predicate: predicate.clone(),
+        },
+        PhysOp::Project { input, exprs, names } => PhysOp::Project {
+            input: uniquify(input),
+            exprs: exprs.clone(),
+            names: names.clone(),
+        },
+        PhysOp::NestedLoopJoin { left, right, kind, on } => PhysOp::NestedLoopJoin {
+            left: uniquify(left),
+            right: uniquify(right),
+            kind: *kind,
+            on: on.clone(),
+        },
+        PhysOp::HashJoin { left, right, kind, left_keys, right_keys, residual } => {
+            PhysOp::HashJoin {
+                left: uniquify(left),
+                right: uniquify(right),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+            }
+        }
+        PhysOp::MergeJoin { left, right, kind, left_keys, right_keys, residual } => {
+            PhysOp::MergeJoin {
+                left: uniquify(left),
+                right: uniquify(right),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+            }
+        }
+        PhysOp::HashAggregate { input, group, aggs, phase } => PhysOp::HashAggregate {
+            input: uniquify(input),
+            group: group.clone(),
+            aggs: aggs.clone(),
+            phase: *phase,
+        },
+        PhysOp::SortAggregate { input, group, aggs, phase } => PhysOp::SortAggregate {
+            input: uniquify(input),
+            group: group.clone(),
+            aggs: aggs.clone(),
+            phase: *phase,
+        },
+        PhysOp::Sort { input, keys } => PhysOp::Sort { input: uniquify(input), keys: keys.clone() },
+        PhysOp::Limit { input, fetch, offset } => PhysOp::Limit {
+            input: uniquify(input),
+            fetch: *fetch,
+            offset: *offset,
+        },
+        PhysOp::Exchange { input, to } => PhysOp::Exchange {
+            input: uniquify(input),
+            to: to.clone(),
+        },
+    };
+    Arc::new(PhysPlan { op, ..(**plan).clone() })
+}
+
+/// The sending side of one fragment instance's sink.
+struct ExchangeSender {
+    to: Distribution,
+    topology: Topology,
+    /// (consumer site, consumer variant, sender pre-bound to that endpoint)
+    endpoints: Vec<(SiteId, usize, NetSender<Msg>)>,
+    mode: SourceMode,
+    rr: usize,
+}
+
+impl ExchangeSender {
+    fn endpoints_at(&self, site: SiteId) -> Vec<&NetSender<Msg>> {
+        self.endpoints
+            .iter()
+            .filter(|(s, _, _)| *s == site)
+            .map(|(_, _, tx)| tx)
+            .collect()
+    }
+
+    /// Ship one batch to a site, honoring the consumer's splitter/
+    /// duplicator mode (batch-level round-robin realizes the splitter's
+    /// arbitrary disjoint partitioning).
+    fn ship_to_site(&mut self, site: SiteId, batch: Batch) -> IcResult<()> {
+        let eps = self.endpoints_at(site);
+        if eps.is_empty() {
+            return Err(IcError::Exec(format!("no exchange endpoint at {site}")));
+        }
+        match self.mode {
+            SourceMode::Duplicator => {
+                for tx in eps {
+                    tx.send(Msg::Batch(batch.clone()))
+                        .map_err(|_| IcError::Exec("exchange link failed".into()))?;
+                }
+            }
+            SourceMode::Splitter => {
+                let pick = self.rr % eps.len();
+                let tx = eps[pick];
+                let result = tx
+                    .send(Msg::Batch(batch))
+                    .map_err(|_| IcError::Exec("exchange link failed".into()));
+                drop(eps);
+                self.rr += 1;
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_batch(&mut self, batch: Batch) -> IcResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        match self.to.clone() {
+            Distribution::Single => {
+                let site = self.endpoints[0].0;
+                self.ship_to_site(site, batch)
+            }
+            Distribution::Broadcast => {
+                let sites: Vec<SiteId> = {
+                    let mut s: Vec<SiteId> = self.endpoints.iter().map(|(s, _, _)| *s).collect();
+                    s.sort();
+                    s.dedup();
+                    s
+                };
+                for site in sites {
+                    self.ship_to_site(site, batch.clone())?;
+                }
+                Ok(())
+            }
+            Distribution::Hash(keys) => {
+                let mut per_site: HashMap<SiteId, Batch> = HashMap::new();
+                for row in batch {
+                    let p = self.topology.partition_of_hash(row.hash_key(&keys));
+                    per_site.entry(self.topology.site_of_partition(p)).or_default().push(row);
+                }
+                for (site, rows) in per_site {
+                    self.ship_to_site(site, rows)?;
+                }
+                Ok(())
+            }
+            Distribution::Random => Err(IcError::Exec("cannot exchange to random".into())),
+        }
+    }
+
+    /// Every producer instance signals EOF to every endpoint so receivers
+    /// can count down.
+    fn finish(&self) {
+        for (_, _, tx) in &self.endpoints {
+            let _ = tx.send(Msg::Eof);
+        }
+    }
+}
+
+/// The receiving end of an exchange inside a fragment instance.
+struct ReceiverSource {
+    rx: NetReceiver<Msg>,
+    remaining_eofs: usize,
+    ctrl: Arc<ControlBlock>,
+}
+
+impl RowSource for ReceiverSource {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        loop {
+            self.ctrl.check()?;
+            if self.remaining_eofs == 0 {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Msg::Batch(b)) => return Ok(Some(b)),
+                Ok(Msg::Eof) => {
+                    self.remaining_eofs -= 1;
+                }
+                Err(ic_net::channel::NetError::Timeout) => continue,
+                Err(_) => {
+                    return Err(IcError::Exec(
+                        "exchange peer disconnected before EOF (upstream failure)".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Per-instance build context.
+struct BuildCtx<'a> {
+    catalog: &'a Catalog,
+    site: SiteId,
+    vid: usize,
+    nvariants: usize,
+    vplan: &'a VariantPlan,
+    registry: &'a ExchangeRegistry,
+    receivers: HashMap<ExchangeId, ReceiverSource>,
+    ctrl: Arc<ControlBlock>,
+}
+
+impl BuildCtx<'_> {
+    fn split_for(&self, mode: SourceMode) -> Option<(usize, usize)> {
+        if self.nvariants > 1 && mode == SourceMode::Splitter {
+            Some((self.vid, self.nvariants))
+        } else {
+            None
+        }
+    }
+
+    fn table_partitions(&self, table: ic_storage::TableId) -> IcResult<Vec<Arc<Vec<Row>>>> {
+        let def = self
+            .catalog
+            .table_def(table)
+            .ok_or_else(|| IcError::Exec(format!("unknown table {table}")))?;
+        let data = self.catalog.table_data(table).unwrap();
+        Ok(match def.distribution {
+            TableDistribution::Replicated => vec![data.partition(0)],
+            TableDistribution::HashPartitioned { .. } => {
+                let parts = self.catalog.topology().partitions_of_site(self.site);
+                data.partitions(&parts)
+            }
+        })
+    }
+
+    fn build(&mut self, node: &Arc<PhysPlan>) -> IcResult<BoxedSource> {
+        Ok(match &node.op {
+            PhysOp::TableScan { table, .. } => {
+                let mode = self.vplan.scan_mode(node);
+                Box::new(ScanSource::new(
+                    self.table_partitions(*table)?,
+                    self.split_for(mode),
+                    self.ctrl.clone(),
+                ))
+            }
+            PhysOp::IndexScan { table, index, sort, .. } => {
+                let mode = self.vplan.scan_mode(node);
+                let ix = self
+                    .catalog
+                    .index(*index)
+                    .ok_or_else(|| IcError::Exec("unknown index".into()))?;
+                let def = self.catalog.table_def(*table).unwrap();
+                let parts: Vec<usize> = match def.distribution {
+                    TableDistribution::Replicated => vec![0],
+                    TableDistribution::HashPartitioned { .. } => {
+                        self.catalog.topology().partitions_of_site(self.site)
+                    }
+                };
+                let runs: Vec<Arc<Vec<Row>>> =
+                    parts.iter().map(|&p| ix.partition_sorted(p)).collect();
+                Box::new(MergingIndexScan::new(
+                    runs,
+                    sort.iter().map(|k| k.col).collect(),
+                    self.split_for(mode),
+                    self.ctrl.clone(),
+                ))
+            }
+            PhysOp::Values { rows, .. } => Box::new(VecSource::new(rows.clone())),
+            PhysOp::Filter { input, predicate } => Box::new(FilterExec {
+                input: self.build(input)?,
+                predicate: predicate.clone(),
+                ctrl: self.ctrl.clone(),
+            }),
+            PhysOp::Project { input, exprs, .. } => Box::new(ProjectExec {
+                input: self.build(input)?,
+                exprs: exprs.clone(),
+                ctrl: self.ctrl.clone(),
+            }),
+            PhysOp::NestedLoopJoin { left, right, kind, on } => {
+                let right_arity = right.schema.arity();
+                Box::new(NestedLoopJoinExec::new(
+                    self.build(left)?,
+                    self.build(right)?,
+                    *kind,
+                    on.clone(),
+                    right_arity,
+                    self.ctrl.clone(),
+                ))
+            }
+            PhysOp::HashJoin { left, right, kind, left_keys, right_keys, residual } => {
+                let right_arity = right.schema.arity();
+                Box::new(HashJoinExec::new(
+                    self.build(left)?,
+                    self.build(right)?,
+                    *kind,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    residual.clone(),
+                    right_arity,
+                    self.ctrl.clone(),
+                ))
+            }
+            PhysOp::MergeJoin { left, right, kind, left_keys, right_keys, residual } => {
+                let right_arity = right.schema.arity();
+                Box::new(MergeJoinExec::new(
+                    self.build(left)?,
+                    self.build(right)?,
+                    *kind,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    residual.clone(),
+                    right_arity,
+                    self.ctrl.clone(),
+                ))
+            }
+            PhysOp::HashAggregate { input, group, aggs, phase } => Box::new(HashAggExec::new(
+                self.build(input)?,
+                group.clone(),
+                aggs.clone(),
+                *phase,
+                self.ctrl.clone(),
+            )),
+            PhysOp::SortAggregate { input, group, aggs, phase } => Box::new(SortAggExec::new(
+                self.build(input)?,
+                group.clone(),
+                aggs.clone(),
+                *phase,
+                self.ctrl.clone(),
+            )),
+            PhysOp::Sort { input, keys } => {
+                Box::new(SortExec::new(self.build(input)?, keys.clone(), self.ctrl.clone()))
+            }
+            PhysOp::Limit { input, fetch, offset } => Box::new(LimitExec::new(
+                self.build(input)?,
+                *fetch,
+                *offset,
+                self.ctrl.clone(),
+            )),
+            PhysOp::Exchange { .. } => {
+                let id = self.registry.id_of(node);
+                let rx = self.receivers.remove(&id).ok_or_else(|| {
+                    IcError::Exec(format!("missing receiver for exchange {id:?}"))
+                })?;
+                Box::new(rx)
+            }
+        })
+    }
+}
+
+/// Execute an optimized physical plan on the simulated cluster, returning
+/// the result rows and execution telemetry.
+pub fn execute_plan(
+    plan: &Arc<PhysPlan>,
+    catalog: &Arc<Catalog>,
+    network: &Arc<Network>,
+    opts: &ExecOptions,
+) -> IcResult<(Vec<Row>, QueryStats)> {
+    let start = Instant::now();
+    let (msgs0, bytes0, _) = network.stats.snapshot();
+    let topology = catalog.topology().clone();
+    let plan = uniquify(plan);
+    let (fragments, registry) = fragment_plan(&plan, &topology);
+    let registry = Arc::new(registry);
+    let vplans: Vec<VariantPlan> = fragments
+        .iter()
+        .map(|f| plan_variants(f, &registry, opts.variant_fragments))
+        .collect();
+
+    let deadline = opts.timeout.map(|t| start + t);
+    let limit_ms = opts.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
+    let ctrl = ControlBlock::with_memory_limit(deadline, limit_ms, opts.memory_limit_rows);
+
+    // --- wire exchanges -------------------------------------------------
+    // Producer fragment of each exchange.
+    let mut producer_of: HashMap<ExchangeId, usize> = HashMap::new();
+    for (fi, f) in fragments.iter().enumerate() {
+        if let Sink::Exchange { id, .. } = &f.sink {
+            producer_of.insert(*id, fi);
+        }
+    }
+    // Consumer fragment of each exchange.
+    let mut consumer_of: HashMap<ExchangeId, usize> = HashMap::new();
+    for (fi, f) in fragments.iter().enumerate() {
+        for id in f.receiver_exchanges(&registry) {
+            consumer_of.insert(id, fi);
+        }
+    }
+    // Receiver endpoints per (exchange, site, variant) and sender
+    // prototypes per exchange.
+    let mut rx_map: HashMap<(ExchangeId, SiteId, usize), NetReceiver<Msg>> = HashMap::new();
+    let mut tx_protos: HashMap<ExchangeId, Vec<(SiteId, usize, NetSender<Msg>)>> = HashMap::new();
+    let mut eof_count: HashMap<ExchangeId, usize> = HashMap::new();
+    for (&ex, &ci) in &consumer_of {
+        let consumer = &fragments[ci];
+        let cvars = vplans[ci].variants;
+        let mut protos = Vec::new();
+        for &site in &consumer.sites {
+            for v in 0..cvars {
+                let (tx, rx) =
+                    net_channel::<Msg>(network.clone(), SiteId(usize::MAX), site, opts.channel_window);
+                rx_map.insert((ex, site, v), rx);
+                protos.push((site, v, tx));
+            }
+        }
+        tx_protos.insert(ex, protos);
+        let pi = producer_of
+            .get(&ex)
+            .copied()
+            .ok_or_else(|| IcError::Exec("exchange without producer".into()))?;
+        eof_count.insert(ex, fragments[pi].sites.len() * vplans[pi].variants);
+    }
+
+    // --- spawn non-root fragment instances ------------------------------
+    let error_slot: Arc<Mutex<Option<IcError>>> = Arc::new(Mutex::new(None));
+    let mut handles = Vec::new();
+    let mut threads = 0usize;
+    for (fi, fragment) in fragments.iter().enumerate() {
+        if fragment.is_root() {
+            continue;
+        }
+        let Sink::Exchange { id: sink_id, to } = fragment.sink.clone() else { unreachable!() };
+        let consumer_fi = consumer_of[&sink_id];
+        let consumer_mode = vplans[consumer_fi].receiver_mode(sink_id);
+        for &site in &fragment.sites {
+            for vid in 0..vplans[fi].variants {
+                threads += 1;
+                // Collect this instance's receivers.
+                let mut receivers = HashMap::new();
+                for ex in fragment.receiver_exchanges(&registry) {
+                    let rx = rx_map
+                        .remove(&(ex, site, vid))
+                        .ok_or_else(|| IcError::Exec("receiver endpoint missing".into()))?;
+                    receivers.insert(
+                        ex,
+                        ReceiverSource {
+                            rx,
+                            remaining_eofs: eof_count[&ex],
+                            ctrl: ctrl.clone(),
+                        },
+                    );
+                }
+                let endpoints: Vec<(SiteId, usize, NetSender<Msg>)> = tx_protos[&sink_id]
+                    .iter()
+                    .map(|(s, v, tx)| (*s, *v, tx.with_src(site)))
+                    .collect();
+                let mut sender = ExchangeSender {
+                    to: to.clone(),
+                    topology: topology.clone(),
+                    endpoints,
+                    mode: consumer_mode,
+                    rr: 0,
+                };
+                let root = fragment.root.clone();
+                let catalog = catalog.clone();
+                let registry = registry.clone();
+                let ctrl2 = ctrl.clone();
+                let vplan = vplans[fi].clone();
+                let nvariants = vplans[fi].variants;
+                let error_slot = error_slot.clone();
+                handles.push(std::thread::spawn(move || {
+                    let run = || -> IcResult<()> {
+                        let mut ctx = BuildCtx {
+                            catalog: &catalog,
+                            site,
+                            vid,
+                            nvariants,
+                            vplan: &vplan,
+                            registry: &registry,
+                            receivers,
+                            ctrl: ctrl2.clone(),
+                        };
+                        let mut src = ctx.build(&root)?;
+                        while let Some(batch) = src.next_batch()? {
+                            sender.send_batch(batch)?;
+                        }
+                        Ok(())
+                    };
+                    match run() {
+                        Ok(()) => sender.finish(),
+                        Err(e) => {
+                            let mut slot = error_slot.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            ctrl2.cancel();
+                        }
+                    }
+                }));
+            }
+        }
+    }
+
+    // --- run the root fragment on this thread ---------------------------
+    let root = &fragments[0];
+    debug_assert!(root.is_root());
+    let mut receivers = HashMap::new();
+    let mut root_result: IcResult<Vec<Row>> = (|| {
+        for ex in root.receiver_exchanges(&registry) {
+            let rx = rx_map
+                .remove(&(ex, topology.coordinator(), 0))
+                .ok_or_else(|| IcError::Exec("root receiver missing".into()))?;
+            receivers.insert(
+                ex,
+                ReceiverSource { rx, remaining_eofs: eof_count[&ex], ctrl: ctrl.clone() },
+            );
+        }
+        let mut ctx = BuildCtx {
+            catalog,
+            site: topology.coordinator(),
+            vid: 0,
+            nvariants: 1,
+            vplan: &VariantPlan::single(),
+            registry: &registry,
+            receivers,
+            ctrl: ctrl.clone(),
+        };
+        let src = ctx.build(&root.root)?;
+        drain(src)
+    })();
+
+    if root_result.is_err() {
+        ctrl.cancel();
+    }
+    for h in handles {
+        if h.join().is_err() {
+            let mut slot = error_slot.lock();
+            if slot.is_none() {
+                *slot = Some(IcError::Exec("fragment thread panicked".into()));
+            }
+        }
+    }
+    // A worker error is the root cause; prefer it over secondary failures.
+    if let Some(e) = error_slot.lock().take() {
+        root_result = Err(e);
+    }
+    // Once the deadline has passed, secondary channel failures caused by
+    // cancellation are reported as the timeout they really are.
+    if let Err(err) = &root_result {
+        let deadline_passed = deadline.is_some_and(|d| Instant::now() > d);
+        let mem_exceeded =
+            ctrl.buffered_rows.load(std::sync::atomic::Ordering::Relaxed) > opts.memory_limit_rows;
+        if mem_exceeded && !matches!(err, IcError::MemoryLimit { .. }) {
+            root_result = Err(IcError::MemoryLimit { limit_rows: opts.memory_limit_rows });
+        } else if deadline_passed
+            && !matches!(err, IcError::ExecTimeout { .. } | IcError::MemoryLimit { .. })
+        {
+            root_result = Err(IcError::ExecTimeout { limit_ms });
+        }
+    }
+    let rows = root_result?;
+    let (msgs1, bytes1, _) = network.stats.snapshot();
+    Ok((
+        rows,
+        QueryStats {
+            fragments: fragments.len(),
+            threads: threads + 1,
+            net_messages: msgs1 - msgs0,
+            net_bytes: bytes1 - bytes0,
+            elapsed: start.elapsed(),
+        },
+    ))
+}

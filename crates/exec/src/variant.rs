@@ -1,0 +1,277 @@
+//! Variant fragments — Algorithm 3 of the paper (§5.3).
+//!
+//! A non-root fragment may be duplicated into `n` variant fragments, each
+//! running in its own thread at the same site. Every *source* (table scan,
+//! index scan, receiver) in the copy becomes either a **splitter** — which
+//! passes only every `n`-th tuple, creating runtime sub-partitions — or a
+//! **duplicator** — which passes everything. The left input of a join is a
+//! duplicator (so each variant joins a full left side against a right
+//! slice); everything else defaults to splitter. Fragments containing a
+//! reduction operator (complete/final aggregates, sorts, limits) or a
+//! semi/anti join are skipped, as are root fragments.
+
+use crate::fragment::{ExchangeId, ExchangeRegistry, Fragment};
+use ic_plan::ops::{AggPhase, JoinKind, PhysOp, PhysPlan};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a source behaves inside a variant fragment (§5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceMode {
+    /// Pass only tuples with `counter % n == variant_id`.
+    Splitter,
+    /// Pass every tuple to this variant.
+    Duplicator,
+}
+
+/// The multithreading plan for one fragment.
+#[derive(Debug, Clone)]
+pub struct VariantPlan {
+    /// Number of variant fragments (1 = not multithreaded).
+    pub variants: usize,
+    /// Mode of each scan/index-scan source, keyed by node pointer.
+    pub scan_modes: HashMap<usize, SourceMode>,
+    /// Mode of each receiver (exchange) source.
+    pub receiver_modes: HashMap<ExchangeId, SourceMode>,
+}
+
+impl VariantPlan {
+    pub fn single() -> VariantPlan {
+        VariantPlan { variants: 1, scan_modes: HashMap::new(), receiver_modes: HashMap::new() }
+    }
+
+    pub fn scan_mode(&self, node: &Arc<PhysPlan>) -> SourceMode {
+        if self.variants == 1 {
+            return SourceMode::Duplicator; // single variant reads everything
+        }
+        *self
+            .scan_modes
+            .get(&(Arc::as_ptr(node) as usize))
+            .unwrap_or(&SourceMode::Splitter)
+    }
+
+    pub fn receiver_mode(&self, id: ExchangeId) -> SourceMode {
+        if self.variants == 1 {
+            return SourceMode::Duplicator;
+        }
+        *self.receiver_modes.get(&id).unwrap_or(&SourceMode::Splitter)
+    }
+}
+
+/// Operators that make a fragment ineligible for variants: reduction
+/// operators (Algorithm 3 raises on them) plus semi/anti joins, whose
+/// split-side matches cannot be unioned across variants.
+fn is_reduction(op: &PhysOp<Arc<PhysPlan>>) -> bool {
+    match op {
+        PhysOp::HashAggregate { phase, .. } | PhysOp::SortAggregate { phase, .. } => {
+            matches!(phase, AggPhase::Complete | AggPhase::Final)
+        }
+        PhysOp::Sort { .. } | PhysOp::Limit { .. } => true,
+        PhysOp::NestedLoopJoin { kind, .. }
+        | PhysOp::HashJoin { kind, .. }
+        | PhysOp::MergeJoin { kind, .. } => matches!(kind, JoinKind::Semi | JoinKind::Anti),
+        _ => false,
+    }
+}
+
+/// Algorithm 3: compute the variant plan for a fragment. Returns a
+/// single-variant plan when the fragment is a root fragment, contains a
+/// reduction operator, or `requested <= 1`.
+pub fn plan_variants(
+    fragment: &Fragment,
+    registry: &ExchangeRegistry,
+    requested: usize,
+) -> VariantPlan {
+    if requested <= 1 || fragment.is_root() {
+        return VariantPlan::single();
+    }
+    let mut plan = VariantPlan {
+        variants: requested,
+        scan_modes: HashMap::new(),
+        receiver_modes: HashMap::new(),
+    };
+    if !assign_modes(&fragment.root, SourceMode::Splitter, registry, &mut plan) {
+        return VariantPlan::single();
+    }
+    plan
+}
+
+/// The VFC recursion: returns false when a reduction operator is found
+/// (fragment skipped).
+fn assign_modes(
+    node: &Arc<PhysPlan>,
+    mode: SourceMode,
+    registry: &ExchangeRegistry,
+    plan: &mut VariantPlan,
+) -> bool {
+    if is_reduction(&node.op) {
+        return false;
+    }
+    match &node.op {
+        PhysOp::TableScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {
+            plan.scan_modes.insert(Arc::as_ptr(node) as usize, mode);
+            true
+        }
+        PhysOp::Exchange { .. } => {
+            // A receiver source of this fragment.
+            plan.receiver_modes.insert(registry.id_of(node), mode);
+            true
+        }
+        PhysOp::NestedLoopJoin { left, right, .. }
+        | PhysOp::HashJoin { left, right, .. }
+        | PhysOp::MergeJoin { left, right, .. } => {
+            // Left becomes a duplicator, right keeps the inherited type.
+            assign_modes(left, SourceMode::Duplicator, registry, plan)
+                && assign_modes(right, mode, registry, plan)
+        }
+        _ => node
+            .children()
+            .iter()
+            .all(|c| assign_modes(c, mode, registry, plan)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{fragment_plan, Sink};
+    use ic_common::{DataType, Expr, Field, Schema};
+    use ic_net::Topology;
+    use ic_plan::cost::Cost;
+    use ic_plan::ops::SortKey;
+    use ic_plan::Distribution;
+    use ic_storage::TableId;
+
+    fn node(op: PhysOp<Arc<PhysPlan>>, dist: Distribution) -> Arc<PhysPlan> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        Arc::new(PhysPlan {
+            op,
+            schema,
+            dist,
+            collation: vec![],
+            rows: 1.0,
+            cost: Cost::ZERO,
+            total_cost: 0.0,
+            has_exchange: false,
+        })
+    }
+
+    fn scan() -> Arc<PhysPlan> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        node(
+            PhysOp::TableScan { table: TableId(0), name: "t".into(), schema },
+            Distribution::Hash(vec![0]),
+        )
+    }
+
+    fn mk_fragment(root: Arc<PhysPlan>, is_root: bool) -> Fragment {
+        Fragment {
+            id: crate::fragment::FragmentId(if is_root { 0 } else { 1 }),
+            root,
+            sink: if is_root {
+                Sink::Results
+            } else {
+                Sink::Exchange { id: ExchangeId(0), to: Distribution::Single }
+            },
+            sites: vec![ic_net::SiteId(0)],
+        }
+    }
+
+    #[test]
+    fn plain_scan_fragment_splits() {
+        let f = mk_fragment(scan(), false);
+        let reg = ExchangeRegistry::default();
+        let plan = plan_variants(&f, &reg, 2);
+        assert_eq!(plan.variants, 2);
+        assert_eq!(plan.scan_mode(&f.root), SourceMode::Splitter);
+    }
+
+    #[test]
+    fn root_fragments_never_multithread() {
+        let f = mk_fragment(scan(), true);
+        let reg = ExchangeRegistry::default();
+        assert_eq!(plan_variants(&f, &reg, 2).variants, 1);
+    }
+
+    #[test]
+    fn join_left_becomes_duplicator() {
+        let l = scan();
+        let r = scan();
+        let join = node(
+            PhysOp::HashJoin {
+                left: l.clone(),
+                right: r.clone(),
+                kind: JoinKind::Inner,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                residual: Expr::lit(true),
+            },
+            Distribution::Hash(vec![0]),
+        );
+        let f = mk_fragment(join, false);
+        let reg = ExchangeRegistry::default();
+        let plan = plan_variants(&f, &reg, 2);
+        assert_eq!(plan.scan_mode(&l), SourceMode::Duplicator);
+        assert_eq!(plan.scan_mode(&r), SourceMode::Splitter);
+    }
+
+    #[test]
+    fn reduction_operators_skip_fragment() {
+        let agg = node(
+            PhysOp::HashAggregate {
+                input: scan(),
+                group: vec![0],
+                aggs: vec![],
+                phase: AggPhase::Complete,
+            },
+            Distribution::Single,
+        );
+        let f = mk_fragment(agg, false);
+        let reg = ExchangeRegistry::default();
+        assert_eq!(plan_variants(&f, &reg, 2).variants, 1);
+        // Partial (map-phase) aggregates are fine.
+        let partial = node(
+            PhysOp::HashAggregate {
+                input: scan(),
+                group: vec![0],
+                aggs: vec![],
+                phase: AggPhase::Partial,
+            },
+            Distribution::Hash(vec![0]),
+        );
+        let f = mk_fragment(partial, false);
+        assert_eq!(plan_variants(&f, &reg, 2).variants, 2);
+        // Sorts and semi joins are reductions too.
+        let sort = node(PhysOp::Sort { input: scan(), keys: vec![SortKey::asc(0)] }, Distribution::Single);
+        assert_eq!(plan_variants(&mk_fragment(sort, false), &reg, 2).variants, 1);
+    }
+
+    #[test]
+    fn receiver_modes_via_registry() {
+        let s = scan();
+        let ex = node(
+            PhysOp::Exchange { input: s, to: Distribution::Hash(vec![0]) },
+            Distribution::Hash(vec![0]),
+        );
+        let filter = node(
+            PhysOp::Filter { input: ex, predicate: Expr::lit(true) },
+            Distribution::Hash(vec![0]),
+        );
+        let ex2 = node(
+            PhysOp::Exchange { input: filter, to: Distribution::Single },
+            Distribution::Single,
+        );
+        let limit = node(PhysOp::Limit { input: ex2, fetch: Some(1), offset: 0 }, Distribution::Single);
+        let topo = Topology::new(2);
+        let (fragments, registry) = fragment_plan(&limit, &topo);
+        let middle = fragments
+            .iter()
+            .find(|f| matches!(&f.root.op, PhysOp::Filter { .. }))
+            .unwrap();
+        let plan = plan_variants(middle, &registry, 2);
+        assert_eq!(plan.variants, 2);
+        let rx = middle.receiver_exchanges(&registry);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(plan.receiver_mode(rx[0]), SourceMode::Splitter);
+    }
+}

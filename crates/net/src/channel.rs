@@ -1,0 +1,153 @@
+//! Site-to-site channels: crossbeam channels with simulated network delay.
+//!
+//! These back the executor's sender/receiver operator pairs (the paper's
+//! §3.2.3 exchange splitting). A [`NetSender`] charges the shared
+//! [`Network`] for each batch according to its wire size before it is
+//! delivered.
+
+use crate::topology::SiteId;
+use crate::wire::WireSize;
+use crate::Network;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sending half of a simulated network link.
+pub struct NetSender<T> {
+    tx: Sender<T>,
+    net: Arc<Network>,
+    src: SiteId,
+    dst: SiteId,
+}
+
+/// Receiving half of a simulated network link.
+pub struct NetReceiver<T> {
+    rx: Receiver<T>,
+    pub src: SiteId,
+    pub dst: SiteId,
+}
+
+/// Error returned when the peer hung up or a fault was injected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NetError {
+    Disconnected,
+    LinkFault,
+    Timeout,
+}
+
+/// Create a simulated link from `src` to `dst` with a bounded in-flight
+/// window (backpressure, like Ignite's per-connection message window).
+pub fn net_channel<T: WireSize>(
+    net: Arc<Network>,
+    src: SiteId,
+    dst: SiteId,
+    window: usize,
+) -> (NetSender<T>, NetReceiver<T>) {
+    let (tx, rx) = bounded(window);
+    (
+        NetSender { tx, net, src, dst },
+        NetReceiver { rx, src, dst },
+    )
+}
+
+impl<T: WireSize> NetSender<T> {
+    /// Ship one payload: charges network delay, then delivers (blocking if
+    /// the receiver's window is full).
+    pub fn send(&self, payload: T) -> Result<(), NetError> {
+        let bytes = payload.wire_size();
+        if !self.net.transfer(self.src, self.dst, bytes) {
+            return Err(NetError::LinkFault);
+        }
+        self.tx.send(payload).map_err(|_| NetError::Disconnected)
+    }
+}
+
+impl<T> NetSender<T> {
+    /// A clone of this sender attributed to a different source site —
+    /// used when several fragment instances share one receiver endpoint.
+    pub fn with_src(&self, src: SiteId) -> NetSender<T> {
+        NetSender { tx: self.tx.clone(), net: self.net.clone(), src, dst: self.dst }
+    }
+}
+
+impl<T> Clone for NetSender<T> {
+    fn clone(&self) -> Self {
+        NetSender { tx: self.tx.clone(), net: self.net.clone(), src: self.src, dst: self.dst }
+    }
+}
+
+impl<T> NetReceiver<T> {
+    /// Blocking receive; `Err(Disconnected)` when all senders dropped.
+    pub fn recv(&self) -> Result<T, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Receive with a timeout, used by the executor's runtime-limit checks.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkConfig;
+    use ic_common::{Datum, Row};
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let net = Network::new(NetworkConfig::instant());
+        let (tx, rx) = net_channel::<Vec<Row>>(net.clone(), SiteId(0), SiteId(1), 4);
+        let batch = vec![Row(vec![Datum::Int(1)])];
+        tx.send(batch.clone()).unwrap();
+        assert_eq!(rx.recv().unwrap(), batch);
+        let (msgs, _, _) = net.stats.snapshot();
+        assert_eq!(msgs, 1);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let net = Network::new(NetworkConfig::instant());
+        let (tx, rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 4);
+        drop(tx);
+        assert_eq!(rx.recv().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn fault_injection_propagates() {
+        let net = Network::new(NetworkConfig::instant());
+        net.set_fault_hook(|_, _| false);
+        let (tx, _rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 4);
+        assert_eq!(tx.send(vec![]).unwrap_err(), NetError::LinkFault);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let net = Network::new(NetworkConfig::instant());
+        let (_tx, rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let net = Network::new(NetworkConfig::instant());
+        let (tx, rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 2);
+        let h = std::thread::spawn(move || {
+            for i in 0..100i64 {
+                tx.send(vec![Row(vec![Datum::Int(i)])]).unwrap();
+            }
+        });
+        let mut total = 0;
+        while let Ok(b) = rx.recv() {
+            total += b.len();
+        }
+        h.join().unwrap();
+        assert_eq!(total, 100);
+    }
+}

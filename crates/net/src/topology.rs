@@ -1,0 +1,110 @@
+//! Cluster topology: site identifiers and partition-to-site placement.
+
+use std::fmt;
+
+/// A logical processing site — one "machine" of the paper's 4/8-node
+/// clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub usize);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// The static cluster layout. Ignite hashes partition keys to partitions and
+/// maps partitions round-robin to sites; with `partitions_per_site = 1` each
+/// site holds exactly one partition of every partitioned table, which is the
+/// configuration the paper benchmarks (zero backups, partitioned cache mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_sites: usize,
+    partitions_per_site: usize,
+}
+
+impl Topology {
+    pub fn new(num_sites: usize) -> Topology {
+        assert!(num_sites > 0, "cluster needs at least one site");
+        Topology { num_sites, partitions_per_site: 1 }
+    }
+
+    pub fn with_partitions_per_site(num_sites: usize, partitions_per_site: usize) -> Topology {
+        assert!(num_sites > 0 && partitions_per_site > 0);
+        Topology { num_sites, partitions_per_site }
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Total partition count for partitioned tables.
+    pub fn num_partitions(&self) -> usize {
+        self.num_sites * self.partitions_per_site
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.num_sites).map(SiteId)
+    }
+
+    /// The site owning a partition (round-robin placement).
+    pub fn site_of_partition(&self, partition: usize) -> SiteId {
+        SiteId(partition % self.num_sites)
+    }
+
+    /// Partitions owned by a site.
+    pub fn partitions_of_site(&self, site: SiteId) -> Vec<usize> {
+        (0..self.num_partitions())
+            .filter(|&p| self.site_of_partition(p) == site)
+            .collect()
+    }
+
+    /// Route a key hash to its partition.
+    pub fn partition_of_hash(&self, hash: u64) -> usize {
+        (hash % self.num_partitions() as u64) as usize
+    }
+
+    /// The coordinator site, which receives client requests and runs root
+    /// fragments (the paper's "site that received the original request").
+    pub fn coordinator(&self) -> SiteId {
+        SiteId(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_round_robin() {
+        let t = Topology::with_partitions_per_site(4, 2);
+        assert_eq!(t.num_partitions(), 8);
+        assert_eq!(t.site_of_partition(0), SiteId(0));
+        assert_eq!(t.site_of_partition(5), SiteId(1));
+        assert_eq!(t.partitions_of_site(SiteId(1)), vec![1, 5]);
+    }
+
+    #[test]
+    fn every_partition_has_owner_and_roundtrip() {
+        let t = Topology::new(8);
+        for p in 0..t.num_partitions() {
+            let s = t.site_of_partition(p);
+            assert!(t.partitions_of_site(s).contains(&p));
+        }
+    }
+
+    #[test]
+    fn hash_routing_in_range() {
+        let t = Topology::new(4);
+        for h in [0u64, 1, 17, u64::MAX] {
+            assert!(t.partition_of_hash(h) < t.num_partitions());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sites_panics() {
+        Topology::new(0);
+    }
+}

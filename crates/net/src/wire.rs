@@ -1,0 +1,136 @@
+//! Wire-size accounting and row encoding for shipped payloads.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use ic_common::{Batch, Datum, Row};
+
+/// Types that can report their serialized size, used by the network
+/// simulator to charge bandwidth.
+pub trait WireSize {
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for Row {
+    fn wire_size(&self) -> usize {
+        // One tag byte per datum plus the payload.
+        self.0.len() + self.byte_size()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+/// Encode a batch into a byte buffer. The executor ships decoded rows for
+/// speed (everything is in-process), but this encoding exists to (a) verify
+/// the wire-size model and (b) support the serialization round-trip tests
+/// that stand in for Ignite's binary marshaller.
+pub fn encode_batch(batch: &Batch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(batch.wire_size());
+    buf.put_u32_le(batch.len() as u32);
+    for row in batch {
+        buf.put_u32_le(row.arity() as u32);
+        for d in &row.0 {
+            match d {
+                Datum::Null => buf.put_u8(0),
+                Datum::Bool(b) => {
+                    buf.put_u8(1);
+                    buf.put_u8(*b as u8);
+                }
+                Datum::Int(i) => {
+                    buf.put_u8(2);
+                    buf.put_i64_le(*i);
+                }
+                Datum::Double(f) => {
+                    buf.put_u8(3);
+                    buf.put_f64_le(*f);
+                }
+                Datum::Str(s) => {
+                    buf.put_u8(4);
+                    buf.put_u32_le(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+                Datum::Date(d) => {
+                    buf.put_u8(5);
+                    buf.put_i32_le(*d);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a batch previously produced by [`encode_batch`].
+pub fn decode_batch(mut data: &[u8]) -> Option<Batch> {
+    fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if data.len() < n {
+            return None;
+        }
+        let (head, rest) = data.split_at(n);
+        *data = rest;
+        Some(head)
+    }
+    let n = u32::from_le_bytes(take(&mut data, 4)?.try_into().ok()?) as usize;
+    let mut batch = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arity = u32::from_le_bytes(take(&mut data, 4)?.try_into().ok()?) as usize;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let tag = take(&mut data, 1)?[0];
+            let d = match tag {
+                0 => Datum::Null,
+                1 => Datum::Bool(take(&mut data, 1)?[0] != 0),
+                2 => Datum::Int(i64::from_le_bytes(take(&mut data, 8)?.try_into().ok()?)),
+                3 => Datum::Double(f64::from_le_bytes(take(&mut data, 8)?.try_into().ok()?)),
+                4 => {
+                    let len = u32::from_le_bytes(take(&mut data, 4)?.try_into().ok()?) as usize;
+                    let s = std::str::from_utf8(take(&mut data, len)?).ok()?;
+                    Datum::str(s)
+                }
+                5 => Datum::Date(i32::from_le_bytes(take(&mut data, 4)?.try_into().ok()?)),
+                _ => return None,
+            };
+            row.push(d);
+        }
+        batch.push(Row(row));
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Batch {
+        vec![
+            Row(vec![Datum::Int(42), Datum::str("hello"), Datum::Null]),
+            Row(vec![Datum::Double(1.5), Datum::Bool(true), Datum::Date(9000)]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = sample_batch();
+        let enc = encode_batch(&b);
+        let dec = decode_batch(&enc).unwrap();
+        assert_eq!(b, dec);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_batch(&[1, 2, 3]).is_none());
+        let mut enc = encode_batch(&sample_batch()).to_vec();
+        enc.truncate(enc.len() - 2);
+        assert!(decode_batch(&enc).is_none());
+    }
+
+    #[test]
+    fn wire_size_close_to_encoding() {
+        let b = sample_batch();
+        let declared = b.wire_size();
+        let actual = encode_batch(&b).len();
+        // The declared size is an estimate; keep it within 2x of reality.
+        assert!(declared * 2 >= actual && actual * 2 >= declared, "{declared} vs {actual}");
+    }
+}

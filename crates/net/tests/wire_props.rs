@@ -1,0 +1,51 @@
+//! Property tests for the wire layer: batch encode/decode round-trips for
+//! arbitrary rows, and the declared wire size tracks the real encoding.
+
+use ic_common::{Datum, Row};
+use ic_net::wire::{decode_batch, encode_batch};
+use ic_net::WireSize;
+use proptest::prelude::*;
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        any::<bool>().prop_map(Datum::Bool),
+        any::<i64>().prop_map(Datum::Int),
+        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Datum::Double),
+        "[ -~]{0,24}".prop_map(Datum::str),
+        any::<i32>().prop_map(Datum::Date),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(batch in proptest::collection::vec(
+        proptest::collection::vec(arb_datum(), 0..6).prop_map(Row),
+        0..20,
+    )) {
+        let encoded = encode_batch(&batch);
+        let decoded = decode_batch(&encoded).expect("decode");
+        prop_assert_eq!(&batch, &decoded);
+        // Declared wire size is within 3x of the true encoding (it is the
+        // basis for simulated bandwidth charges).
+        let declared = batch.wire_size().max(1);
+        let actual = encoded.len().max(1);
+        prop_assert!(declared * 3 >= actual && actual * 3 >= declared,
+            "declared {} actual {}", declared, actual);
+    }
+
+    /// Truncated payloads never decode into the original batch.
+    #[test]
+    fn truncation_detected(batch in proptest::collection::vec(
+        proptest::collection::vec(arb_datum(), 1..4).prop_map(Row),
+        1..10,
+    ), cut in 1usize..32) {
+        let encoded = encode_batch(&batch);
+        if cut < encoded.len() {
+            let truncated = &encoded[..encoded.len() - cut];
+            if let Some(decoded) = decode_batch(truncated) {
+                prop_assert_ne!(decoded, batch);
+            }
+        }
+    }
+}

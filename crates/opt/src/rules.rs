@@ -1,0 +1,585 @@
+//! Logical rewrite rules for the Hep stage and the IC+ logical phase.
+//!
+//! Each rule is a function from a [`LogicalPlan`] node to an optional
+//! replacement subtree; the [`crate::hep::HepPlanner`] applies them
+//! top-down to a fixpoint. The set mirrors the Calcite rules Ignite enables
+//! (filter pushdown, project fusion) plus the two the paper adds: the
+//! FILTER_CORRELATE-style pushdown (§4.1) and join-condition
+//! simplification (§5.2).
+
+use ic_common::{Expr, IcResult};
+use ic_plan::ops::{JoinKind, LogicalPlan, RelOp};
+use std::sync::Arc;
+
+/// A named rewrite rule.
+pub struct Rule {
+    pub name: &'static str,
+    pub apply: fn(&LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rule({})", self.name)
+    }
+}
+
+fn filter(input: Arc<LogicalPlan>, predicate: Expr) -> IcResult<Arc<LogicalPlan>> {
+    LogicalPlan::new(RelOp::Filter { input, predicate })
+}
+
+/// FilterMerge: `Filter(Filter(x, p2), p1)` → `Filter(x, p1 ∧ p2)`.
+pub fn filter_merge(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Filter { input: inner, predicate: p2 } = &input.op else {
+        return Ok(None);
+    };
+    Ok(Some(filter(inner.clone(), Expr::and(predicate.clone(), p2.clone()))?))
+}
+
+/// Remove `Filter(x, TRUE)`.
+pub fn filter_true_remove(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    if predicate.is_true_literal() {
+        return Ok(Some(input.clone()));
+    }
+    Ok(None)
+}
+
+/// ProjectMerge: `Project(Project(x))` → composed single `Project(x)`.
+pub fn project_merge(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Project { input, exprs, names } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Project { input: inner, exprs: inner_exprs, .. } = &input.op else {
+        return Ok(None);
+    };
+    let composed: Vec<Expr> = exprs
+        .iter()
+        .map(|e| {
+            e.transform(&|x| match x {
+                Expr::Col(c) => Some(inner_exprs[*c].clone()),
+                _ => None,
+            })
+        })
+        .collect();
+    Ok(Some(LogicalPlan::new(RelOp::Project {
+        input: inner.clone(),
+        exprs: composed,
+        names: names.clone(),
+    })?))
+}
+
+/// ProjectRemove: drop identity projections (same arity, `Col(i)` at `i`,
+/// same names as the input schema).
+pub fn project_remove(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Project { input, exprs, names } = &node.op else {
+        return Ok(None);
+    };
+    if exprs.len() != input.schema.arity() {
+        return Ok(None);
+    }
+    let identity = exprs.iter().enumerate().all(|(i, e)| matches!(e, Expr::Col(c) if *c == i))
+        && names
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.eq_ignore_ascii_case(&input.schema.field(i).name));
+    Ok(if identity { Some(input.clone()) } else { None })
+}
+
+/// FilterProjectTranspose: `Filter(Project(x), p)` →
+/// `Project(Filter(x, p'))` where `p'` inlines the projection expressions.
+pub fn filter_project_transpose(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Project { input: inner, exprs, names } = &input.op else {
+        return Ok(None);
+    };
+    let pushed = predicate.transform(&|x| match x {
+        Expr::Col(c) => Some(exprs[*c].clone()),
+        _ => None,
+    });
+    let filtered = filter(inner.clone(), pushed)?;
+    Ok(Some(LogicalPlan::new(RelOp::Project {
+        input: filtered,
+        exprs: exprs.clone(),
+        names: names.clone(),
+    })?))
+}
+
+/// Core of the filter-into-join pushdown. `past_correlates` gates whether
+/// joins marked `from_correlate` participate: the baseline misses the
+/// FILTER_CORRELATE rule (§4.1) and leaves filters stuck above
+/// decorrelated subqueries.
+fn filter_into_join_impl(
+    node: &LogicalPlan,
+    past_correlates: bool,
+) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Join { left, right, kind, on, from_correlate } = &input.op else {
+        return Ok(None);
+    };
+    if *from_correlate && !past_correlates {
+        return Ok(None);
+    }
+    let left_arity = left.schema.arity();
+    let mut to_left: Vec<Expr> = Vec::new();
+    let mut to_right: Vec<Expr> = Vec::new();
+    let mut to_on: Vec<Expr> = Vec::new();
+    let mut keep: Vec<Expr> = Vec::new();
+    for conj in predicate.split_conjunction() {
+        let cols = conj.columns();
+        let all_left = cols.iter().all(|&c| c < left_arity);
+        let all_right = !cols.is_empty() && cols.iter().all(|&c| c >= left_arity);
+        match kind {
+            JoinKind::Inner => {
+                if all_left {
+                    to_left.push(conj.clone());
+                } else if all_right {
+                    to_right.push(conj.shift(left_arity, -(left_arity as isize)));
+                } else {
+                    to_on.push(conj.clone());
+                }
+            }
+            // Filters above left/semi/anti joins reference left columns
+            // only (semi/anti emit left only; for left joins, pushing
+            // right-side or mixed predicates would change null semantics).
+            JoinKind::Left | JoinKind::Semi | JoinKind::Anti => {
+                if all_left {
+                    to_left.push(conj.clone());
+                } else {
+                    keep.push(conj.clone());
+                }
+            }
+        }
+    }
+    if to_left.is_empty() && to_right.is_empty() && to_on.is_empty() {
+        return Ok(None);
+    }
+    let new_left = if to_left.is_empty() {
+        left.clone()
+    } else {
+        filter(left.clone(), Expr::conjunction(to_left))?
+    };
+    let new_right = if to_right.is_empty() {
+        right.clone()
+    } else {
+        filter(right.clone(), Expr::conjunction(to_right))?
+    };
+    let mut on_parts = vec![on.clone()];
+    on_parts.extend(to_on);
+    let on_parts: Vec<Expr> = on_parts.into_iter().filter(|e| !e.is_true_literal()).collect();
+    let new_join = LogicalPlan::new(RelOp::Join {
+        left: new_left,
+        right: new_right,
+        kind: *kind,
+        on: Expr::conjunction(on_parts),
+        from_correlate: *from_correlate,
+    })?;
+    Ok(Some(if keep.is_empty() {
+        new_join
+    } else {
+        filter(new_join, Expr::conjunction(keep))?
+    }))
+}
+
+/// FilterIntoJoin — skips correlate joins (the baseline behaviour).
+pub fn filter_into_join(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    filter_into_join_impl(node, false)
+}
+
+/// FILTER_CORRELATE (§4.1): the same pushdown, but also through joins
+/// produced by subquery decorrelation. IC+ only.
+pub fn filter_correlate(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, .. } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Join { from_correlate: true, .. } = &input.op else {
+        return Ok(None);
+    };
+    filter_into_join_impl(node, true)
+}
+
+/// JoinConditionPush: move single-sided conjuncts of an inner-join (or the
+/// right side of a left join) condition into filters on the inputs.
+pub fn join_condition_push(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Join { left, right, kind, on, from_correlate } = &node.op else {
+        return Ok(None);
+    };
+    if on.is_true_literal() {
+        return Ok(None);
+    }
+    let left_arity = left.schema.arity();
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut remain = Vec::new();
+    for conj in on.split_conjunction() {
+        let cols = conj.columns();
+        let all_left = !cols.is_empty() && cols.iter().all(|&c| c < left_arity);
+        let all_right = !cols.is_empty() && cols.iter().all(|&c| c >= left_arity);
+        match kind {
+            JoinKind::Inner | JoinKind::Semi | JoinKind::Anti => {
+                // For semi/anti joins the condition acts as a filter on the
+                // probe only where it references the right side; left-only
+                // conjuncts of a semi join can be pulled out, but for anti
+                // joins the condition semantics differ — keep them in place.
+                if all_left && *kind != JoinKind::Anti {
+                    to_left.push(conj.clone());
+                } else if all_right && *kind == JoinKind::Inner {
+                    to_right.push(conj.shift(left_arity, -(left_arity as isize)));
+                } else {
+                    remain.push(conj.clone());
+                }
+            }
+            JoinKind::Left => {
+                if all_right {
+                    to_right.push(conj.shift(left_arity, -(left_arity as isize)));
+                } else {
+                    remain.push(conj.clone());
+                }
+            }
+        }
+    }
+    if to_left.is_empty() && to_right.is_empty() {
+        return Ok(None);
+    }
+    let new_left = if to_left.is_empty() {
+        left.clone()
+    } else {
+        filter(left.clone(), Expr::conjunction(to_left))?
+    };
+    let new_right = if to_right.is_empty() {
+        right.clone()
+    } else {
+        filter(right.clone(), Expr::conjunction(to_right))?
+    };
+    Ok(Some(LogicalPlan::new(RelOp::Join {
+        left: new_left,
+        right: new_right,
+        kind: *kind,
+        on: Expr::conjunction(remain),
+        from_correlate: *from_correlate,
+    })?))
+}
+
+/// FilterAggregateTranspose: push conjuncts that reference only grouping
+/// columns below the aggregate.
+pub fn filter_aggregate_transpose(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    let RelOp::Aggregate { input: agg_in, group, aggs } = &input.op else {
+        return Ok(None);
+    };
+    let mut below = Vec::new();
+    let mut above = Vec::new();
+    for conj in predicate.split_conjunction() {
+        let cols = conj.columns();
+        if !cols.is_empty() && cols.iter().all(|&c| c < group.len()) {
+            // Remap output group position -> input column.
+            below.push(conj.map_cols(&|c| group[c]));
+        } else {
+            above.push(conj.clone());
+        }
+    }
+    if below.is_empty() {
+        return Ok(None);
+    }
+    let filtered = filter(agg_in.clone(), Expr::conjunction(below))?;
+    let new_agg = LogicalPlan::new(RelOp::Aggregate {
+        input: filtered,
+        group: group.clone(),
+        aggs: aggs.clone(),
+    })?;
+    Ok(Some(if above.is_empty() {
+        new_agg
+    } else {
+        filter(new_agg, Expr::conjunction(above))?
+    }))
+}
+
+/// §5.2 — join-condition simplification: factor conditions common to every
+/// branch of an OR out of the disjunction:
+/// `(c1∧c2∧c3) ∨ (c1∧c4∧c5)` → `c1 ∧ ((c2∧c3) ∨ (c4∧c5))`.
+///
+/// Applied to both join conditions and filter predicates; once the common
+/// equi-condition is extracted, the planner can pick a hash/merge join and
+/// push literal conditions down as filters (the Q19 fix).
+pub fn simplify_or_common(pred: &Expr) -> Option<Expr> {
+    let disjuncts = pred.split_disjunction();
+    if disjuncts.len() < 2 {
+        return None;
+    }
+    let branch_conjs: Vec<Vec<Expr>> = disjuncts
+        .iter()
+        .map(|d| d.split_conjunction().into_iter().cloned().collect())
+        .collect();
+    let first = &branch_conjs[0];
+    let common: Vec<Expr> = first
+        .iter()
+        .filter(|c| branch_conjs[1..].iter().all(|b| b.contains(c)))
+        .cloned()
+        .collect();
+    if common.is_empty() {
+        return None;
+    }
+    let rests: Vec<Expr> = branch_conjs
+        .iter()
+        .map(|b| {
+            let rest: Vec<Expr> = b.iter().filter(|c| !common.contains(c)).cloned().collect();
+            Expr::conjunction(rest)
+        })
+        .collect();
+    let mut parts = common;
+    // If every branch reduced to TRUE the OR disappears entirely.
+    if !rests.iter().all(|r| r.is_true_literal()) {
+        parts.push(Expr::disjunction(rests));
+    }
+    Some(Expr::conjunction(parts))
+}
+
+/// §5.2 as a rule over join conditions.
+pub fn join_condition_simplify(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Join { left, right, kind, on, from_correlate } = &node.op else {
+        return Ok(None);
+    };
+    let Some(simplified) = simplify_or_common(on) else {
+        return Ok(None);
+    };
+    Ok(Some(LogicalPlan::new(RelOp::Join {
+        left: left.clone(),
+        right: right.clone(),
+        kind: *kind,
+        on: simplified,
+        from_correlate: *from_correlate,
+    })?))
+}
+
+/// §5.2 applied to filter predicates (the condition may sit in a filter
+/// before pushdown moves it into the join).
+pub fn filter_condition_simplify(node: &LogicalPlan) -> IcResult<Option<Arc<LogicalPlan>>> {
+    let RelOp::Filter { input, predicate } = &node.op else {
+        return Ok(None);
+    };
+    let Some(simplified) = simplify_or_common(predicate) else {
+        return Ok(None);
+    };
+    Ok(Some(filter(input.clone(), simplified)?))
+}
+
+/// The three Hep rule lists of Ignite's first optimization stage
+/// (§3.2.1: "one with three rules, another with seven rules, and the third
+/// with five rules"), assembled per system variant.
+pub fn hep_stage_rules(flags: &ic_plan::PlannerFlags) -> Vec<Vec<Rule>> {
+    let r = |name, apply| Rule { name, apply };
+    // Planner 1: normalization (3 rules).
+    let p1 = vec![
+        r("FilterMerge", filter_merge as _),
+        r("ProjectMerge", project_merge as _),
+        r("ProjectRemove", project_remove as _),
+    ];
+    // Planner 2: pushdown (7 rules in IC+; the baseline misses
+    // FILTER_CORRELATE and condition simplification).
+    let mut p2 = vec![
+        r("FilterProjectTranspose", filter_project_transpose as _),
+        r("FilterIntoJoin", filter_into_join as _),
+        r("JoinConditionPush", join_condition_push as _),
+        r("FilterAggregateTranspose", filter_aggregate_transpose as _),
+        r("FilterMerge", filter_merge as _),
+    ];
+    if flags.filter_correlate_rule {
+        p2.push(r("FilterCorrelate", filter_correlate as _));
+    }
+    if flags.join_condition_simplify {
+        p2.push(r("JoinConditionSimplify", join_condition_simplify as _));
+        p2.push(r("FilterConditionSimplify", filter_condition_simplify as _));
+    }
+    // Planner 3: cleanup (5 rules).
+    let p3 = vec![
+        r("FilterTrueRemove", filter_true_remove as _),
+        r("FilterMerge", filter_merge as _),
+        r("ProjectMerge", project_merge as _),
+        r("ProjectRemove", project_remove as _),
+        r("FilterIntoJoin", filter_into_join as _),
+    ];
+    vec![p1, p2, p3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{BinOp, DataType, Field, Schema};
+    use ic_storage::TableId;
+
+    fn scan(name: &str, cols: usize) -> Arc<LogicalPlan> {
+        let schema = Schema::new(
+            (0..cols).map(|i| Field::new(format!("{name}{i}"), DataType::Int)).collect(),
+        );
+        LogicalPlan::new(RelOp::Scan { table: TableId(0), name: name.into(), schema }).unwrap()
+    }
+
+    fn join(l: Arc<LogicalPlan>, r: Arc<LogicalPlan>, kind: JoinKind, on: Expr, corr: bool) -> Arc<LogicalPlan> {
+        LogicalPlan::new(RelOp::Join { left: l, right: r, kind, on, from_correlate: corr }).unwrap()
+    }
+
+    #[test]
+    fn filter_merge_combines() {
+        let f2 = filter(scan("t", 2), Expr::eq(Expr::col(0), Expr::lit(1i64))).unwrap();
+        let f1 = filter(f2, Expr::eq(Expr::col(1), Expr::lit(2i64))).unwrap();
+        let out = filter_merge(&f1).unwrap().unwrap();
+        let RelOp::Filter { predicate, input } = &out.op else { panic!() };
+        assert_eq!(predicate.split_conjunction().len(), 2);
+        assert!(matches!(input.op, RelOp::Scan { .. }));
+    }
+
+    #[test]
+    fn filter_into_join_splits_sides() {
+        let j = join(
+            scan("a", 2),
+            scan("b", 2),
+            JoinKind::Inner,
+            Expr::eq(Expr::col(0), Expr::col(2)),
+            false,
+        );
+        let pred = Expr::and(
+            Expr::eq(Expr::col(1), Expr::lit(5i64)),  // left only
+            Expr::eq(Expr::col(3), Expr::lit(7i64)),  // right only
+        );
+        let f = filter(j, pred).unwrap();
+        let out = filter_into_join(&f).unwrap().unwrap();
+        let RelOp::Join { left, right, .. } = &out.op else { panic!("got {:?}", out.op) };
+        assert!(matches!(left.op, RelOp::Filter { .. }));
+        let RelOp::Filter { predicate, .. } = &right.op else { panic!() };
+        // Right-side predicate shifted into right coordinates.
+        assert_eq!(predicate.columns().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn baseline_skips_correlate_joins() {
+        let j = join(scan("a", 1), scan("b", 1), JoinKind::Semi, Expr::eq(Expr::col(0), Expr::col(1)), true);
+        let f = filter(j, Expr::eq(Expr::col(0), Expr::lit(3i64))).unwrap();
+        assert!(filter_into_join(&f).unwrap().is_none());
+        // The IC+ rule pushes it.
+        let out = filter_correlate(&f).unwrap().unwrap();
+        let RelOp::Join { left, .. } = &out.op else { panic!() };
+        assert!(matches!(left.op, RelOp::Filter { .. }));
+    }
+
+    #[test]
+    fn left_join_keeps_right_filters_above() {
+        let j = join(scan("a", 1), scan("b", 1), JoinKind::Left, Expr::eq(Expr::col(0), Expr::col(1)), false);
+        let f = filter(j, Expr::eq(Expr::col(1), Expr::lit(1i64))).unwrap();
+        // right-side predicate on a left join must not push.
+        assert!(filter_into_join(&f).unwrap().is_none());
+    }
+
+    #[test]
+    fn or_common_factor_extraction() {
+        // (c1 ∧ c2) ∨ (c1 ∧ c3)  →  c1 ∧ (c2 ∨ c3)
+        let c1 = Expr::eq(Expr::col(0), Expr::col(2));
+        let c2 = Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(5i64));
+        let c3 = Expr::binary(BinOp::Lt, Expr::col(1), Expr::lit(2i64));
+        let pred = Expr::or(Expr::and(c1.clone(), c2.clone()), Expr::and(c1.clone(), c3.clone()));
+        let out = simplify_or_common(&pred).unwrap();
+        let conjs = out.split_conjunction();
+        assert_eq!(conjs.len(), 2);
+        assert_eq!(conjs[0], &c1);
+        assert_eq!(out.split_conjunction()[1].split_disjunction().len(), 2);
+        // Three-branch version (the Q19 shape).
+        let pred3 = Expr::disjunction(vec![
+            Expr::and(c1.clone(), c2.clone()),
+            Expr::and(c1.clone(), c3.clone()),
+            Expr::and(c1.clone(), c2.clone()),
+        ]);
+        let out = simplify_or_common(&pred3).unwrap();
+        assert_eq!(out.split_conjunction()[0], &c1);
+        // No common factor -> no rewrite.
+        assert!(simplify_or_common(&Expr::or(c2.clone(), c3.clone())).is_none());
+        // All branches identical -> OR disappears.
+        let same = Expr::or(c1.clone(), c1.clone());
+        assert_eq!(simplify_or_common(&same).unwrap(), c1);
+    }
+
+    #[test]
+    fn project_merge_composes() {
+        let p_inner = LogicalPlan::new(RelOp::Project {
+            input: scan("t", 2),
+            exprs: vec![Expr::binary(BinOp::Add, Expr::col(0), Expr::col(1))],
+            names: vec!["s".into()],
+        })
+        .unwrap();
+        let p_outer = LogicalPlan::new(RelOp::Project {
+            input: p_inner,
+            exprs: vec![Expr::binary(BinOp::Mul, Expr::col(0), Expr::lit(2i64))],
+            names: vec!["d".into()],
+        })
+        .unwrap();
+        let out = project_merge(&p_outer).unwrap().unwrap();
+        let RelOp::Project { input, exprs, .. } = &out.op else { panic!() };
+        assert!(matches!(input.op, RelOp::Scan { .. }));
+        // (c0 + c1) * 2
+        assert_eq!(exprs[0].columns().len(), 2);
+    }
+
+    #[test]
+    fn identity_project_removed() {
+        let p = LogicalPlan::new(RelOp::Project {
+            input: scan("t", 2),
+            exprs: vec![Expr::col(0), Expr::col(1)],
+            names: vec!["t0".into(), "t1".into()],
+        })
+        .unwrap();
+        assert!(project_remove(&p).unwrap().is_some());
+        let p2 = LogicalPlan::new(RelOp::Project {
+            input: scan("t", 2),
+            exprs: vec![Expr::col(1), Expr::col(0)],
+            names: vec!["t1".into(), "t0".into()],
+        })
+        .unwrap();
+        assert!(project_remove(&p2).unwrap().is_none());
+    }
+
+    #[test]
+    fn filter_agg_transpose_group_only() {
+        use ic_common::agg::AggFunc;
+        use ic_plan::ops::AggCall;
+        let agg = LogicalPlan::new(RelOp::Aggregate {
+            input: scan("t", 3),
+            group: vec![1],
+            aggs: vec![AggCall { func: AggFunc::CountStar, arg: None, name: "c".into() }],
+        })
+        .unwrap();
+        let f = filter(
+            agg,
+            Expr::and(
+                Expr::eq(Expr::col(0), Expr::lit(1i64)), // group col -> pushes
+                Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(0i64)), // agg output -> stays
+            ),
+        )
+        .unwrap();
+        let out = filter_aggregate_transpose(&f).unwrap().unwrap();
+        let RelOp::Filter { input: agg_node, .. } = &out.op else { panic!() };
+        let RelOp::Aggregate { input: below, .. } = &agg_node.op else { panic!() };
+        let RelOp::Filter { predicate, .. } = &below.op else { panic!() };
+        // Remapped to input column 1.
+        assert_eq!(predicate.columns().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn rule_lists_per_variant() {
+        let base = hep_stage_rules(&ic_plan::PlannerFlags::ic());
+        let plus = hep_stage_rules(&ic_plan::PlannerFlags::ic_plus());
+        assert_eq!(base.len(), 3);
+        let base_names: Vec<_> = base[1].iter().map(|r| r.name).collect();
+        let plus_names: Vec<_> = plus[1].iter().map(|r| r.name).collect();
+        assert!(!base_names.contains(&"FilterCorrelate"));
+        assert!(plus_names.contains(&"FilterCorrelate"));
+        assert!(plus_names.contains(&"JoinConditionSimplify"));
+    }
+}

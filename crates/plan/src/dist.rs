@@ -1,0 +1,299 @@
+//! The distribution trait (§3.2.2): values, the Table 1 satisfaction
+//! matrix, and the Table 2 / §5.1.1 join distribution mappings.
+
+use crate::ops::JoinKind;
+use std::fmt;
+
+/// Where an operator's output rows live across the cluster — the paper's
+/// distribution trait. `Random` extends the paper's three values for
+/// outputs whose partitioning key was projected away: rows are spread over
+/// all sites but by an unexpressible key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// All rows at a single site.
+    Single,
+    /// A full copy of all rows at every site.
+    Broadcast,
+    /// Partitioned across sites by a hash of the given output columns.
+    Hash(Vec<usize>),
+    /// Partitioned across sites, key unknown.
+    Random,
+}
+
+impl Distribution {
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, Distribution::Hash(_) | Distribution::Random)
+    }
+
+    /// Number of sites holding (distinct partitions of) the data.
+    pub fn site_fanout(&self, num_sites: usize) -> usize {
+        match self {
+            Distribution::Single => 1,
+            Distribution::Broadcast => 1, // one logical copy (replicated base relation ⇒ df 1)
+            Distribution::Hash(_) | Distribution::Random => num_sites,
+        }
+    }
+
+    /// Remap hash keys through a projection of simple column references.
+    /// `mapping[i] = Some(j)` when input column `i` appears as output
+    /// column `j`. A hash distribution whose key is projected away degrades
+    /// to `Random`.
+    pub fn remap(&self, mapping: &dyn Fn(usize) -> Option<usize>) -> Distribution {
+        match self {
+            Distribution::Hash(keys) => {
+                let mapped: Option<Vec<usize>> = keys.iter().map(|&k| mapping(k)).collect();
+                match mapped {
+                    Some(keys) => Distribution::Hash(keys),
+                    None => Distribution::Random,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Single => f.write_str("single"),
+            Distribution::Broadcast => f.write_str("broadcast"),
+            Distribution::Hash(keys) => write!(f, "hash{keys:?}"),
+            Distribution::Random => f.write_str("random"),
+        }
+    }
+}
+
+/// A distribution *requirement* placed on a child plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DistReq {
+    /// Anything goes.
+    Any,
+    /// Any placement is fine as long as per-site subsets are disjoint or a
+    /// full copy (i.e. an operator that can run where the data is).
+    AnyPartitioned,
+    /// Exactly this distribution (or one that satisfies it per Table 1).
+    Exact(Distribution),
+}
+
+/// Table 1 — the distribution satisfaction matrix. `source` is the
+/// distribution a child delivers, `target` the distribution required.
+///
+/// The paper's footnote ("only if the hash function produces a superset of
+/// the target sites") resolves here to: hash satisfies hash only when the
+/// partitioning keys are identical (same hash function over the same
+/// sites), and a hash source never satisfies broadcast in a zero-backup
+/// partitioned cache (no site holds all rows).
+pub fn satisfies_dist(source: &Distribution, target: &Distribution) -> bool {
+    use Distribution::*;
+    match (source, target) {
+        (Single, Single) => true,
+        (Single, _) => false,
+        (Broadcast, _) => true,
+        (Hash(a), Hash(b)) => a == b,
+        (Hash(_), _) => false,
+        (Random, Random) => true,
+        (Random, _) => false,
+    }
+}
+
+/// Does a delivered distribution satisfy a requirement?
+pub fn satisfies(source: &Distribution, req: &DistReq) -> bool {
+    match req {
+        DistReq::Any => true,
+        DistReq::AnyPartitioned => true, // every trait value is a valid placement
+        DistReq::Exact(target) => satisfies_dist(source, target),
+    }
+}
+
+/// One join distribution mapping (a row of Table 2, plus the §5.1.1
+/// fully-distributed mappings): a possible output distribution together
+/// with the required source distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinMapping {
+    pub name: &'static str,
+    pub left: DistReq,
+    pub right: DistReq,
+}
+
+/// Generate the distribution mappings for a join with the given equi-keys.
+///
+/// * `single` — both sources shipped to one site (always available).
+/// * `broadcast` — both sources replicated everywhere (always available).
+/// * `hash` — co-partitioned equi-join: both sides hash-distributed on
+///   their join keys (equi-joins only).
+/// * `broadcast-right` / `broadcast-left` (§5.1.1, IC+ only) — one side is
+///   broadcast to the sites of the other, which stays partitioned in place
+///   however it already is. Broadcasting the *left* side is only correct
+///   for inner joins: for left/semi/anti joins a partitioned right side
+///   would see only a subset of matches per site.
+pub fn join_mappings(
+    kind: JoinKind,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    broadcast_mapping_enabled: bool,
+) -> Vec<JoinMapping> {
+    let mut out = vec![
+        JoinMapping {
+            name: "single",
+            left: DistReq::Exact(Distribution::Single),
+            right: DistReq::Exact(Distribution::Single),
+        },
+        JoinMapping {
+            name: "broadcast",
+            left: DistReq::Exact(Distribution::Broadcast),
+            right: DistReq::Exact(Distribution::Broadcast),
+        },
+    ];
+    if !left_keys.is_empty() {
+        out.push(JoinMapping {
+            name: "hash",
+            left: DistReq::Exact(Distribution::Hash(left_keys.to_vec())),
+            right: DistReq::Exact(Distribution::Hash(right_keys.to_vec())),
+        });
+    }
+    if broadcast_mapping_enabled {
+        // Keep the (often large) left relation in place, broadcast right.
+        out.push(JoinMapping {
+            name: "broadcast-right",
+            left: DistReq::AnyPartitioned,
+            right: DistReq::Exact(Distribution::Broadcast),
+        });
+        if kind == JoinKind::Inner {
+            out.push(JoinMapping {
+                name: "broadcast-left",
+                left: DistReq::Exact(Distribution::Broadcast),
+                right: DistReq::AnyPartitioned,
+            });
+        }
+    }
+    out
+}
+
+/// The output distribution a join actually delivers given what its sources
+/// delivered. Correctness mirrors trait satisfaction: the output is
+/// partitioned wherever a partitioned source pins the computation, and is
+/// only a broadcast when *every* source is a broadcast.
+pub fn join_output_dist(
+    kind: JoinKind,
+    left: &Distribution,
+    right: &Distribution,
+    left_arity: usize,
+) -> Distribution {
+    use Distribution::*;
+    let shift_right = |keys: &Vec<usize>| -> Distribution {
+        if kind.emits_right() {
+            Hash(keys.iter().map(|k| k + left_arity).collect())
+        } else {
+            // Right columns are not emitted; partitioning key is lost.
+            Random
+        }
+    };
+    match (left, right) {
+        (Single, Single) => Single,
+        (Broadcast, Broadcast) => Broadcast,
+        (Single, Broadcast) => Single,
+        (Broadcast, Single) => Single,
+        (Hash(k), Broadcast) | (Hash(k), Single) => Hash(k.clone()),
+        (Random, Broadcast) | (Random, Single) => Random,
+        (Broadcast, Hash(k)) | (Single, Hash(k)) => shift_right(k),
+        (Broadcast, Random) | (Single, Random) => Random,
+        // Two partitioned sides: co-partitioned equi-join; output follows
+        // the left partitioning.
+        (Hash(k), Hash(_)) => Hash(k.clone()),
+        (Hash(k), Random) => Hash(k.clone()),
+        (Random, Hash(_)) | (Random, Random) => Random,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Distribution::*;
+
+    /// Table 1 of the paper, with the footnote resolved as documented on
+    /// [`satisfies_dist`].
+    #[test]
+    fn table1_satisfaction_matrix() {
+        // (source, target, expected)
+        let h = |v: &[usize]| Hash(v.to_vec());
+        let cases = [
+            (Single, Single, true),
+            (Single, Broadcast, false),
+            (Single, h(&[0]), false),
+            (Broadcast, Single, true),
+            (Broadcast, Broadcast, true),
+            (Broadcast, h(&[0]), true),
+            (h(&[0]), Single, false),
+            (h(&[0]), Broadcast, false), // footnote: partitioned cache, no superset
+            (h(&[0]), h(&[0]), true),    // footnote: same hash fn/sites
+            (h(&[0]), h(&[1]), false),
+        ];
+        for (src, tgt, want) in cases {
+            assert_eq!(satisfies_dist(&src, &tgt), want, "{src} -> {tgt}");
+        }
+    }
+
+    #[test]
+    fn req_satisfaction() {
+        assert!(satisfies(&Random, &DistReq::Any));
+        assert!(satisfies(&Random, &DistReq::AnyPartitioned));
+        assert!(!satisfies(&Random, &DistReq::Exact(Single)));
+        assert!(satisfies(&Broadcast, &DistReq::Exact(Single)));
+    }
+
+    /// Table 2: the baseline generates single/broadcast/hash mappings.
+    #[test]
+    fn table2_baseline_mappings() {
+        let m = join_mappings(JoinKind::Inner, &[0], &[0], false);
+        let names: Vec<_> = m.iter().map(|x| x.name).collect();
+        assert_eq!(names, vec!["single", "broadcast", "hash"]);
+        // Non-equi joins lose the hash mapping.
+        let m = join_mappings(JoinKind::Inner, &[], &[], false);
+        assert_eq!(m.len(), 2);
+    }
+
+    /// §5.1.1: IC+ adds the fully-distributed mappings.
+    #[test]
+    fn improved_mappings_added() {
+        let m = join_mappings(JoinKind::Inner, &[0], &[0], true);
+        let names: Vec<_> = m.iter().map(|x| x.name).collect();
+        assert!(names.contains(&"broadcast-right"));
+        assert!(names.contains(&"broadcast-left"));
+        // Semi joins cannot broadcast the left side.
+        let m = join_mappings(JoinKind::Semi, &[0], &[0], true);
+        let names: Vec<_> = m.iter().map(|x| x.name).collect();
+        assert!(names.contains(&"broadcast-right"));
+        assert!(!names.contains(&"broadcast-left"));
+    }
+
+    #[test]
+    fn output_dist_combinations() {
+        let h0 = Hash(vec![0]);
+        // Partitioned left + broadcast right keeps left partitioning.
+        assert_eq!(join_output_dist(JoinKind::Inner, &h0, &Broadcast, 2), h0);
+        // Broadcast left + partitioned right: keys shift past left arity.
+        assert_eq!(
+            join_output_dist(JoinKind::Inner, &Broadcast, &Hash(vec![1]), 2),
+            Hash(vec![3])
+        );
+        // Semi join does not emit right columns.
+        assert_eq!(join_output_dist(JoinKind::Semi, &Broadcast, &Hash(vec![1]), 2), Random);
+        assert_eq!(join_output_dist(JoinKind::Inner, &Single, &Single, 2), Single);
+        assert_eq!(join_output_dist(JoinKind::Inner, &Broadcast, &Broadcast, 2), Broadcast);
+    }
+
+    #[test]
+    fn remap_through_projection() {
+        let d = Hash(vec![1]);
+        assert_eq!(d.remap(&|c| if c == 1 { Some(0) } else { None }), Hash(vec![0]));
+        assert_eq!(d.remap(&|_| None), Random);
+        assert_eq!(Broadcast.remap(&|_| None), Broadcast);
+    }
+
+    #[test]
+    fn site_fanout() {
+        assert_eq!(Single.site_fanout(8), 1);
+        assert_eq!(Broadcast.site_fanout(8), 1);
+        assert_eq!(Hash(vec![0]).site_fanout(8), 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    /// EXPLAIN SELECT … — show the optimized physical plan.
+    Explain(Query),
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+}
+
+/// CREATE TABLE name (col type, ..., PRIMARY KEY (cols))
+/// [PARTITION BY HASH (cols) | REPLICATED]
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, String)>,
+    pub primary_key: Vec<String>,
+    /// None → partition by primary key (Ignite's default affinity).
+    pub partition_by: Option<Vec<String>>,
+    pub replicated: bool,
+}
+
+/// CREATE INDEX name ON table (cols)
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+}
+
+/// A SELECT query (possibly nested as a derived table or subquery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [alias]`
+    Table { name: String, alias: Option<String> },
+    /// `(SELECT ...) [AS] alias`
+    Derived { query: Box<Query>, alias: String },
+    /// `left [LEFT] JOIN right ON cond`
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: AstJoinKind,
+        on: AstExpr,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    Inner,
+    Left,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: AstExpr,
+    pub desc: bool,
+}
+
+/// Binary operators at the AST level (same set as the runtime).
+pub use ic_common::BinOp;
+
+/// Interval units for date arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// Unresolved scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified column reference: `[qualifier.]name`.
+    Column { qualifier: Option<String>, name: String },
+    NumberLit(f64),
+    IntLit(i64),
+    StringLit(String),
+    DateLit(String),
+    /// INTERVAL 'n' UNIT
+    IntervalLit { value: i64, unit: IntervalUnit },
+    Binary { op: BinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    IsNull { expr: Box<AstExpr>, negated: bool },
+    Like { expr: Box<AstExpr>, pattern: Box<AstExpr>, negated: bool },
+    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    InList { expr: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
+    InSubquery { expr: Box<AstExpr>, query: Box<Query>, negated: bool },
+    Exists { query: Box<Query>, negated: bool },
+    ScalarSubquery(Box<Query>),
+    Case {
+        whens: Vec<(AstExpr, AstExpr)>,
+        else_: Option<Box<AstExpr>>,
+    },
+    /// Aggregate call: COUNT/SUM/AVG/MIN/MAX, `arg == None` for COUNT(*).
+    AggCall { func: String, distinct: bool, arg: Option<Box<AstExpr>> },
+    /// EXTRACT(YEAR|MONTH FROM expr)
+    Extract { field: String, expr: Box<AstExpr> },
+    /// SUBSTRING(expr FROM start FOR len)
+    Substring { expr: Box<AstExpr>, start: Box<AstExpr>, len: Box<AstExpr> },
+    /// Other function calls (cast helpers etc.).
+    Func { name: String, args: Vec<AstExpr> },
+}
+
+impl AstExpr {
+    pub fn binary(op: BinOp, l: AstExpr, r: AstExpr) -> AstExpr {
+        AstExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// Does this expression (sub)tree contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::AggCall { .. } => true,
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Not(e) | AstExpr::IsNull { expr: e, .. } => e.contains_aggregate(),
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            AstExpr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            AstExpr::Case { whens, else_ } => {
+                whens.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            AstExpr::Extract { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Substring { expr, start, len } => {
+                expr.contains_aggregate() || start.contains_aggregate() || len.contains_aggregate()
+            }
+            AstExpr::Func { args, .. } => args.iter().any(|e| e.contains_aggregate()),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::AggCall { func: "sum".into(), distinct: false, arg: None };
+        let e = AstExpr::binary(
+            BinOp::Mul,
+            AstExpr::IntLit(100),
+            AstExpr::binary(BinOp::Div, agg.clone(), agg),
+        );
+        assert!(e.contains_aggregate());
+        let plain = AstExpr::Column { qualifier: None, name: "x".into() };
+        assert!(!plain.contains_aggregate());
+    }
+}

@@ -1,0 +1,19 @@
+//! Partitioned in-memory storage — the Apache Ignite substrate.
+//!
+//! Ignite stores each table ("cache") as hash-partitioned rows spread over
+//! the cluster's sites, or fully replicated on every site. This crate
+//! provides that store for the simulated cluster: a [`Catalog`] of table and
+//! index definitions, per-partition row storage ([`table::TableData`]),
+//! sorted secondary indexes ([`index::Index`]) and the per-table /
+//! per-column [`stats::TableStats`] that Ignite serves to Calcite through
+//! its metadata provider hooks (§3.2 of the paper).
+
+pub mod catalog;
+pub mod index;
+pub mod stats;
+pub mod table;
+
+pub use catalog::{Catalog, IndexDef, IndexId, TableDef, TableDistribution, TableId};
+pub use index::Index;
+pub use stats::{ColumnStats, TableStats};
+pub use table::TableData;

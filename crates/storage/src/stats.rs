@@ -1,0 +1,120 @@
+//! Table statistics — the metadata Ignite serves to Calcite's provider
+//! hooks (§3.1/§3.2 of the paper): row counts, per-column distinct-value
+//! counts (NDV, used by the Eq. 3 join-size estimator), min/max, and null
+//! fractions (used by selectivity estimation).
+
+use crate::table::TableData;
+use ic_common::Datum;
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    pub null_count: u64,
+    pub min: Option<Datum>,
+    pub max: Option<Datum>,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for an empty/unanalyzed table.
+    pub fn empty() -> TableStats {
+        TableStats { row_count: 0, columns: Vec::new() }
+    }
+
+    /// Exact single-pass computation over all partitions. At the simulated
+    /// scale exact NDV is cheap; Ignite uses sketches but serves the same
+    /// quantities.
+    pub fn compute(data: &TableData) -> TableStats {
+        let arity = data.schema().arity();
+        let mut distinct: Vec<HashSet<Datum>> = (0..arity).map(|_| HashSet::new()).collect();
+        let mut nulls = vec![0u64; arity];
+        let mut mins: Vec<Option<Datum>> = vec![None; arity];
+        let mut maxs: Vec<Option<Datum>> = vec![None; arity];
+        let mut rows = 0u64;
+        for p in 0..data.num_partitions() {
+            for row in data.partition(p).iter() {
+                rows += 1;
+                for (c, v) in row.0.iter().enumerate() {
+                    if v.is_null() {
+                        nulls[c] += 1;
+                        continue;
+                    }
+                    distinct[c].insert(v.clone());
+                    if mins[c].as_ref().map_or(true, |m| v < m) {
+                        mins[c] = Some(v.clone());
+                    }
+                    if maxs[c].as_ref().map_or(true, |m| v > m) {
+                        maxs[c] = Some(v.clone());
+                    }
+                }
+            }
+        }
+        TableStats {
+            row_count: rows,
+            columns: (0..arity)
+                .map(|c| ColumnStats {
+                    ndv: distinct[c].len() as u64,
+                    null_count: nulls[c],
+                    min: mins[c].clone(),
+                    max: maxs[c].clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// NDV of a column, defaulting to row_count when unanalyzed (a column
+    /// is at most all-distinct) — the provider-hook fallback behaviour.
+    pub fn ndv(&self, col: usize) -> u64 {
+        self.columns.get(col).map(|c| c.ndv).unwrap_or(self.row_count).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{DataType, Field, Row, Schema};
+
+    #[test]
+    fn compute_counts() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Str)]);
+        let data = TableData::new(2, schema);
+        data.insert_into_partition(
+            0,
+            vec![
+                Row(vec![Datum::Int(1), Datum::str("x")]),
+                Row(vec![Datum::Int(2), Datum::Null]),
+            ],
+        );
+        data.insert_into_partition(
+            1,
+            vec![
+                Row(vec![Datum::Int(1), Datum::str("y")]),
+                Row(vec![Datum::Int(3), Datum::str("x")]),
+            ],
+        );
+        let s = TableStats::compute(&data);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].ndv, 3);
+        assert_eq!(s.columns[1].ndv, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[0].min, Some(Datum::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Datum::Int(3)));
+    }
+
+    #[test]
+    fn ndv_fallbacks() {
+        let s = TableStats { row_count: 10, columns: Vec::new() };
+        assert_eq!(s.ndv(5), 10);
+        let s = TableStats::empty();
+        assert_eq!(s.ndv(0), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the storage substrate: partition routing, statistics
+//! vs brute force, and index range scans vs filter scans.
+
+use ic_common::{DataType, Datum, Field, Row, Schema};
+use ic_net::Topology;
+use ic_storage::{Catalog, TableDistribution};
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("s", DataType::Str),
+    ])
+}
+
+fn rows(data: &[(i64, i64)]) -> Vec<Row> {
+    data.iter()
+        .map(|&(k, v)| Row(vec![Datum::Int(k), Datum::Int(v), Datum::str(format!("s{}", v % 3))]))
+        .collect()
+}
+
+proptest! {
+    /// Every inserted row lands in exactly one partition, and co-located
+    /// keys land in the same partition regardless of insertion batch.
+    #[test]
+    fn partition_routing(data in proptest::collection::vec((0i64..500, -100i64..100), 1..120),
+                         sites in 1usize..9) {
+        let cat = Catalog::new(Topology::new(sites));
+        let t = cat
+            .create_table("t", schema(), vec![0], TableDistribution::HashPartitioned { key_cols: vec![0] })
+            .unwrap();
+        cat.insert(t, rows(&data)).unwrap();
+        let table = cat.table_data(t).unwrap();
+        prop_assert_eq!(table.total_rows(), data.len());
+        // Same key -> same partition.
+        for p in 0..table.num_partitions() {
+            for row in table.partition(p).iter() {
+                let h = row.hash_key(&[0]);
+                prop_assert_eq!(cat.topology().partition_of_hash(h), p);
+            }
+        }
+    }
+
+    /// Statistics equal brute-force counts.
+    #[test]
+    fn stats_match_brute_force(data in proptest::collection::vec((0i64..50, -10i64..10), 0..100)) {
+        let cat = Catalog::new(Topology::new(4));
+        let t = cat
+            .create_table("t", schema(), vec![0], TableDistribution::HashPartitioned { key_cols: vec![0] })
+            .unwrap();
+        cat.insert(t, rows(&data)).unwrap();
+        cat.analyze(t).unwrap();
+        let stats = cat.table_stats(t).unwrap();
+        prop_assert_eq!(stats.row_count as usize, data.len());
+        if !data.is_empty() {
+            let distinct_k: std::collections::HashSet<i64> = data.iter().map(|(k, _)| *k).collect();
+            let distinct_v: std::collections::HashSet<i64> = data.iter().map(|(_, v)| *v).collect();
+            prop_assert_eq!(stats.columns[0].ndv as usize, distinct_k.len());
+            prop_assert_eq!(stats.columns[1].ndv as usize, distinct_v.len());
+            let min_v = data.iter().map(|(_, v)| *v).min().unwrap();
+            prop_assert_eq!(stats.columns[1].min.clone(), Some(Datum::Int(min_v)));
+        }
+    }
+
+    /// Index range scans return exactly the rows a filter scan would.
+    #[test]
+    fn index_range_matches_filter(
+        data in proptest::collection::vec((0i64..60, -10i64..10), 0..120),
+        lo in 0i64..60,
+        len in 0i64..30,
+    ) {
+        let hi = lo + len;
+        let cat = Catalog::new(Topology::new(3));
+        let t = cat
+            .create_table("t", schema(), vec![0], TableDistribution::HashPartitioned { key_cols: vec![0] })
+            .unwrap();
+        let ix = cat.create_index("ix_v", t, vec![1]).unwrap();
+        cat.insert(t, rows(&data)).unwrap();
+        cat.analyze(t).unwrap();
+        let index = cat.index(ix).unwrap();
+        let range = ic_storage::index::KeyRange {
+            lower: Bound::Included(vec![Datum::Int(lo - 30)]),
+            upper: Bound::Excluded(vec![Datum::Int(hi - 30)]),
+        };
+        let mut via_index: Vec<Row> = (0..index.num_partitions())
+            .flat_map(|p| index.range_scan(p, &range))
+            .collect();
+        via_index.sort();
+        let table = cat.table_data(t).unwrap();
+        let mut via_filter: Vec<Row> = table
+            .all_rows()
+            .into_iter()
+            .filter(|r| {
+                let v = r.0[1].as_int().unwrap();
+                v >= lo - 30 && v < hi - 30
+            })
+            .collect();
+        via_filter.sort();
+        prop_assert_eq!(via_index, via_filter);
+    }
+
+    /// Index partitions are sorted after every rebuild.
+    #[test]
+    fn index_sorted_after_rebuild(data in proptest::collection::vec((0i64..40, -40i64..40), 0..80)) {
+        let cat = Catalog::new(Topology::new(2));
+        let t = cat
+            .create_table("t", schema(), vec![0], TableDistribution::HashPartitioned { key_cols: vec![0] })
+            .unwrap();
+        let ix = cat.create_index("ix", t, vec![1, 0]).unwrap();
+        cat.insert(t, rows(&data)).unwrap();
+        cat.analyze(t).unwrap();
+        let index = cat.index(ix).unwrap();
+        for p in 0..index.num_partitions() {
+            let sorted = index.partition_sorted(p);
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].project(&[1, 0]) <= w[1].project(&[1, 0]));
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Distributed join strategies (§5.1): build a star schema with one large
+//! partitioned fact table and small dimensions, then show how the
+//! §5.1.1 fully-distributed (broadcast) mapping and the §5.1.2 hash join
+//! change the plan and the simulated network traffic.
+//!
+//! ```sh
+//! cargo run --release --example distributed_joins
+//! ```
+
+use ignite_calcite_rs::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+
+fn load(cluster: &Cluster) {
+    cluster
+        .run(
+            "CREATE TABLE fact (f_id BIGINT, f_dim BIGINT, f_val DOUBLE, \
+             PRIMARY KEY (f_id))",
+        )
+        .unwrap();
+    cluster
+        .run("CREATE TABLE dim (d_id BIGINT, d_name VARCHAR, PRIMARY KEY (d_id))")
+        .unwrap();
+    let fact: Vec<Row> = (0..200_000)
+        .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 200), Datum::Double((i % 1000) as f64)]))
+        .collect();
+    let dim: Vec<Row> =
+        (0..200).map(|i| Row(vec![Datum::Int(i), Datum::str(format!("dim-{i}"))])).collect();
+    cluster.insert("fact", fact).unwrap();
+    cluster.insert("dim", dim).unwrap();
+    cluster.analyze_all().unwrap();
+}
+
+fn main() {
+    // The join key (f_dim) is NOT the fact table's partition key, so the
+    // baseline must ship the large fact table; the improved system
+    // broadcasts the small dimension instead.
+    let sql = "SELECT d_name, sum(f_val) AS total FROM fact, dim \
+               WHERE f_dim = d_id GROUP BY d_name ORDER BY total DESC LIMIT 5";
+
+    // A deliberately slower (50 MB/s) link makes data-shipping costs easy
+    // to see at this laptop scale.
+    let mut network = ignite_calcite_rs::NetworkConfig::default();
+    network.bandwidth_bytes_per_sec = 50_000_000;
+    let baseline = Cluster::new(ClusterConfig {
+        sites: 8,
+        variant: SystemVariant::IC,
+        network,
+        ..ClusterConfig::default()
+    });
+    load(&baseline);
+    let improved = baseline.with_variant(SystemVariant::ICPlus);
+
+    for (label, cluster) in [("IC (baseline)", &baseline), ("IC+ (improved)", &improved)] {
+        println!("─── {label} ───");
+        println!("{}", cluster.explain(sql).unwrap());
+        match cluster.query(sql) {
+            Ok(r) => println!(
+                "{} rows in {:?}; shipped {} KiB in {} messages\n",
+                r.rows.len(),
+                r.total_time(),
+                r.stats.net_bytes / 1024,
+                r.stats.net_messages,
+            ),
+            Err(e) => println!("failed: {e}\n"),
+        }
+    }
+    println!(
+        "The improved plan keeps the 200k-row fact table in place and broadcasts\n\
+         the 200-row dimension (§5.1.1), replacing the baseline's full reshuffle."
+    );
+}

@@ -1,0 +1,53 @@
+//! Star Schema Benchmark demo (§6.4): load SSB and run query sets one and
+//! three — the data-warehouse drill-downs the paper evaluates — on IC and
+//! IC+M, printing the response-time multiplier per query.
+//!
+//! ```sh
+//! cargo run --release --example ssb_dashboard [scale_factor]
+//! ```
+
+use ignite_calcite_rs::benchdata::ssb;
+use ignite_calcite_rs::{Cluster, ClusterConfig, SystemVariant};
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    println!("Loading SSB at scale factor {sf}…");
+    let baseline = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant: SystemVariant::IC,
+        ..ClusterConfig::default()
+    });
+    for ddl in ssb::DDL.iter().chain(ssb::INDEX_DDL) {
+        baseline.run(ddl).expect("DDL");
+    }
+    for table in ssb::generate(sf, 42) {
+        println!("  {}: {} rows", table.name, table.rows.len());
+        baseline.insert(table.name, table.rows).unwrap();
+    }
+    baseline.analyze_all().unwrap();
+    let improved = baseline.with_variant(SystemVariant::ICPlusM);
+
+    println!("\n{:<6} {:>12} {:>12} {:>10}", "query", "IC (ms)", "IC+M (ms)", "multiplier");
+    for (id, sql) in ssb::QUERIES.iter().filter(|(id, _)| id.starts_with("Q1") || id.starts_with("Q3")) {
+        let a = baseline.query(sql);
+        let b = improved.query(sql);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                let (ta, tb) = (a.total_time().as_secs_f64(), b.total_time().as_secs_f64());
+                println!(
+                    "{id:<6} {:>12.1} {:>12.1} {:>9.2}x",
+                    ta * 1000.0,
+                    tb * 1000.0,
+                    ta / tb.max(1e-9)
+                );
+            }
+            (a, b) => println!(
+                "{id:<6} {:>12} {:>12}",
+                a.map(|_| "ok").unwrap_or("FAIL"),
+                b.map(|_| "ok").unwrap_or("FAIL")
+            ),
+        }
+    }
+    println!("\n(QS2/QS4 are excluded as in the paper's §6.4: their search spaces");
+    println!(" exceed the planner's limits)");
+}

@@ -1,0 +1,49 @@
+//! TPC-H analytics demo: load the warehouse at a small scale factor and
+//! run a representative slice of the paper's workload — the pricing
+//! summary (Q1), the shipping-priority report (Q3), and the promotion
+//! effect (Q14) — comparing the baseline and improved planners.
+//!
+//! ```sh
+//! cargo run --release --example tpch_analytics [scale_factor]
+//! ```
+
+use ignite_calcite_rs::benchdata::tpch;
+use ignite_calcite_rs::{Cluster, ClusterConfig, SystemVariant};
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    println!("Loading TPC-H at scale factor {sf}…");
+    let baseline = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant: SystemVariant::IC,
+        ..ClusterConfig::default()
+    });
+    for ddl in tpch::DDL.iter().chain(tpch::INDEX_DDL) {
+        baseline.run(ddl).expect("DDL");
+    }
+    for table in tpch::generate(sf, 42) {
+        println!("  {}: {} rows", table.name, table.rows.len());
+        baseline.insert(table.name, table.rows).unwrap();
+    }
+    baseline.analyze_all().unwrap();
+    let improved = baseline.with_variant(SystemVariant::ICPlus);
+
+    for q in [1usize, 3, 14] {
+        let sql = tpch::query(q);
+        println!("\n─── TPC-H Q{q} ───");
+        for (label, cluster) in [("IC ", &baseline), ("IC+", &improved)] {
+            match cluster.query(&sql) {
+                Ok(r) => {
+                    println!("{label}: {} rows in {:?}", r.rows.len(), r.total_time());
+                    if q == 1 {
+                        // Q1's summary is small enough to print.
+                        for line in r.to_table().lines().take(5) {
+                            println!("   {line}");
+                        }
+                    }
+                }
+                Err(e) => println!("{label}: {e}"),
+            }
+        }
+    }
+}

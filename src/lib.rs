@@ -1,0 +1,13 @@
+//! # ignite-calcite-rs
+//!
+//! A from-scratch Rust reproduction of *"Apache Ignite + Calcite
+//! Composable Database System: Experimental Evaluation and Analysis"*
+//! (EDBT 2025). This facade crate re-exports the public API; see
+//! [`ic_core`] for the cluster/session interface and the `crates/`
+//! workspace members for the individual subsystems (storage, network
+//! simulation, SQL frontend, planner, executor, benchmarks).
+
+pub use ic_benchdata as benchdata;
+pub use ic_common as common;
+pub use ic_core::*;
+pub use ic_plan as plan;

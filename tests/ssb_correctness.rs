@@ -1,0 +1,101 @@
+//! End-to-end SSB correctness: query sets 1 and 3 agree across variants
+//! and Q1.1 matches a brute-force computation.
+
+use ignite_calcite_rs::benchdata::ssb;
+use ignite_calcite_rs::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+use std::time::Duration;
+
+const SF: f64 = 0.002;
+
+fn cluster(variant: SystemVariant) -> Cluster {
+    let c = Cluster::new(ClusterConfig {
+        sites: 4,
+        variant,
+        network: ignite_calcite_rs::NetworkConfig::instant(),
+        exec_timeout: Some(Duration::from_secs(60)),
+        planner_budget: None,
+        memory_limit_rows: 20_000_000,
+    });
+    for ddl in ssb::DDL.iter().chain(ssb::INDEX_DDL) {
+        c.run(ddl).unwrap();
+    }
+    for t in ssb::generate(SF, 42) {
+        c.insert(t.name, t.rows).unwrap();
+    }
+    c.analyze_all().unwrap();
+    c
+}
+
+fn canon(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.0.iter()
+                .map(|d| match d {
+                    Datum::Double(f) => format!("{f:.2}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn qs1_and_qs3_agree_across_variants() {
+    let base = cluster(SystemVariant::IC);
+    let plus_m = base.with_variant(SystemVariant::ICPlusM);
+    for (id, sql) in ssb::QUERIES
+        .iter()
+        .filter(|(id, _)| id.starts_with("Q1") || id.starts_with("Q3"))
+    {
+        let a = base.query(sql).unwrap_or_else(|e| panic!("IC {id}: {e}"));
+        let b = plus_m.query(sql).unwrap_or_else(|e| panic!("IC+M {id}: {e}"));
+        assert_eq!(canon(&a.rows), canon(&b.rows), "{id}");
+    }
+}
+
+#[test]
+fn q11_matches_brute_force() {
+    let c = cluster(SystemVariant::ICPlusM);
+    let data = ssb::generate(SF, 42);
+    let lineorder = &data.iter().find(|t| t.name == "lineorder").unwrap().rows;
+    // Q1.1: sum(lo_extendedprice * lo_discount) where orderdate year =
+    // 1993, discount in 1..=3, quantity < 25.
+    let expected: f64 = lineorder
+        .iter()
+        .filter(|r| {
+            let orderdate = r.0[5].as_int().unwrap();
+            let discount = r.0[11].as_int().unwrap();
+            let qty = r.0[8].as_int().unwrap();
+            orderdate / 10_000 == 1993 && (1..=3).contains(&discount) && qty < 25
+        })
+        .map(|r| r.0[9].as_double().unwrap() * r.0[11].as_int().unwrap() as f64)
+        .sum();
+    let got = c.query(ssb::query("Q1.1").unwrap()).unwrap();
+    let v = got.rows[0].0[0].as_double().unwrap_or(0.0);
+    assert!(
+        (v - expected).abs() < 0.01 * expected.abs().max(1.0),
+        "Q1.1: got {v}, expected {expected}"
+    );
+}
+
+#[test]
+fn q31_group_keys_are_asia_nations() {
+    let c = cluster(SystemVariant::ICPlus);
+    let got = c.query(ssb::query("Q3.1").unwrap()).unwrap();
+    let asia: Vec<&str> = ignite_calcite_rs::benchdata::text::NATIONS
+        .iter()
+        .filter(|(_, r)| *r == 2)
+        .map(|(n, _)| *n)
+        .collect();
+    assert!(!got.rows.is_empty());
+    for r in &got.rows {
+        assert!(asia.contains(&r.0[0].as_str().unwrap()), "{r:?}");
+        assert!(asia.contains(&r.0[1].as_str().unwrap()), "{r:?}");
+        let year = r.0[2].as_int().unwrap();
+        assert!((1992..=1997).contains(&year));
+    }
+}

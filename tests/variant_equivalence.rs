@@ -1,0 +1,157 @@
+//! Property-based cross-variant equivalence: randomized SQL queries over a
+//! synthetic schema must produce identical result multisets on IC, IC+
+//! and IC+M — the three variants differ only in plan choice, never in
+//! semantics.
+
+use ignite_calcite_rs::{Cluster, ClusterConfig, Datum, Row, SystemVariant};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Fixture {
+    ic: Cluster,
+    plus: Cluster,
+    plus_m: Cluster,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ic = Cluster::new(ClusterConfig {
+            sites: 3,
+            variant: SystemVariant::IC,
+            network: ignite_calcite_rs::NetworkConfig::instant(),
+            exec_timeout: Some(Duration::from_secs(30)),
+            planner_budget: None,
+        memory_limit_rows: 20_000_000,
+        });
+        ic.run("CREATE TABLE a (a1 BIGINT, a2 BIGINT, a3 DOUBLE, PRIMARY KEY (a1))").unwrap();
+        ic.run("CREATE TABLE b (b1 BIGINT, b2 BIGINT, b3 VARCHAR, PRIMARY KEY (b1))").unwrap();
+        ic.run("CREATE TABLE c (c1 BIGINT, c2 VARCHAR, PRIMARY KEY (c1)) REPLICATED").unwrap();
+        ic.run("CREATE INDEX ix_a2 ON a (a2)").unwrap();
+        let a: Vec<Row> = (0..600)
+            .map(|i| {
+                Row(vec![
+                    Datum::Int(i),
+                    Datum::Int(i % 37),
+                    if i % 11 == 0 { Datum::Null } else { Datum::Double((i % 97) as f64 / 3.0) },
+                ])
+            })
+            .collect();
+        let b: Vec<Row> = (0..250)
+            .map(|i| {
+                Row(vec![
+                    Datum::Int(i),
+                    Datum::Int(i % 37),
+                    Datum::str(format!("tag{}", i % 5)),
+                ])
+            })
+            .collect();
+        let c: Vec<Row> =
+            (0..37).map(|i| Row(vec![Datum::Int(i), Datum::str(format!("c{}", i % 3))])).collect();
+        ic.insert("a", a).unwrap();
+        ic.insert("b", b).unwrap();
+        ic.insert("c", c).unwrap();
+        ic.analyze_all().unwrap();
+        let plus = ic.with_variant(SystemVariant::ICPlus);
+        let plus_m = ic.with_variant(SystemVariant::ICPlusM);
+        Fixture { ic, plus, plus_m }
+    })
+}
+
+fn canon(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.0.iter()
+                .map(|d| match d {
+                    Datum::Double(f) => format!("{f:.4}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Random predicate fragments that are valid over (a ⋈ b ⋈ c).
+fn predicate() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..40).prop_map(|v| format!("a.a2 > {v}")),
+        (0i64..40).prop_map(|v| format!("b.b2 <= {v}")),
+        (0i64..5).prop_map(|v| format!("b.b3 = 'tag{v}'")),
+        (0i64..90).prop_map(|v| format!("a.a3 < {v}")),
+        Just("a.a3 IS NOT NULL".to_string()),
+        Just("c.c2 LIKE 'c1%'".to_string()),
+        (0i64..37).prop_map(|v| format!("(a.a2 = {v} OR b.b2 > 20)")),
+    ]
+}
+
+fn agg() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("count(*)".to_string()),
+        Just("sum(a.a3)".to_string()),
+        Just("min(b.b1)".to_string()),
+        Just("max(a.a1)".to_string()),
+        Just("avg(a.a3)".to_string()),
+        Just("count(a.a3)".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Join + filter + aggregate queries return identical multisets on all
+    /// three variants.
+    #[test]
+    fn equivalence_grouped(preds in proptest::collection::vec(predicate(), 0..3),
+                           a in agg()) {
+        let mut sql = format!(
+            "SELECT c.c2, {a} FROM a, b, c WHERE a.a2 = b.b2 AND a.a2 = c.c1"
+        );
+        for p in &preds {
+            sql += &format!(" AND {p}");
+        }
+        sql += " GROUP BY c.c2";
+        let f = fixture();
+        let r_ic = f.ic.query(&sql).unwrap();
+        let r_plus = f.plus.query(&sql).unwrap();
+        let r_m = f.plus_m.query(&sql).unwrap();
+        prop_assert_eq!(canon(&r_ic.rows), canon(&r_plus.rows), "IC vs IC+: {}", sql);
+        prop_assert_eq!(canon(&r_plus.rows), canon(&r_m.rows), "IC+ vs IC+M: {}", sql);
+    }
+
+    /// Non-aggregate projections agree too (row multisets).
+    #[test]
+    fn equivalence_select(preds in proptest::collection::vec(predicate(), 1..3)) {
+        let mut sql =
+            "SELECT a.a1, b.b1, b.b3 FROM a, b, c WHERE a.a2 = b.b2 AND b.b2 = c.c1".to_string();
+        for p in &preds {
+            sql += &format!(" AND {p}");
+        }
+        let f = fixture();
+        let r_ic = f.ic.query(&sql).unwrap();
+        let r_plus = f.plus.query(&sql).unwrap();
+        let r_m = f.plus_m.query(&sql).unwrap();
+        prop_assert_eq!(canon(&r_ic.rows), canon(&r_plus.rows), "IC vs IC+: {}", sql);
+        prop_assert_eq!(canon(&r_plus.rows), canon(&r_m.rows), "IC+ vs IC+M: {}", sql);
+    }
+
+    /// Semi/anti joins from EXISTS / NOT EXISTS agree across variants.
+    #[test]
+    fn equivalence_exists(v in 0i64..30, negate in proptest::bool::ANY) {
+        let not = if negate { "NOT " } else { "" };
+        let sql = format!(
+            "SELECT a.a1 FROM a WHERE {not}EXISTS \
+             (SELECT 1 FROM b WHERE b.b2 = a.a2 AND b.b1 > {v})"
+        );
+        let f = fixture();
+        let r_ic = f.ic.query(&sql).unwrap();
+        let r_plus = f.plus.query(&sql).unwrap();
+        let r_m = f.plus_m.query(&sql).unwrap();
+        prop_assert_eq!(canon(&r_ic.rows), canon(&r_plus.rows), "IC vs IC+: {}", sql);
+        prop_assert_eq!(canon(&r_plus.rows), canon(&r_m.rows), "IC+ vs IC+M: {}", sql);
+    }
+}
