@@ -1,0 +1,115 @@
+//! Chaos runner: execute the TPC-H suite under a seeded fault schedule and
+//! report per-query recovery behaviour plus aggregate success rate and
+//! recovery latency. The same seed replays the identical fault sequence,
+//! so a chaos run is a reproducible experiment, not a dice roll:
+//! `cargo run --release -p ic-bench --bin chaos [sf] [seed] [backups] [sites] [horizon]`
+//!
+//! Knobs: `sf` scale factor (default 0.005), `seed` for the generated
+//! fault schedule (default 42), `backups` per partition (default 1),
+//! `sites` (default 4), `horizon` fault-schedule span in logical ticks
+//! (default 2000). Network/timeout knobs come from the usual
+//! `IC_BENCH_NET_MBPS` / `IC_BENCH_NET_LAT_US` / `IC_BENCH_TIMEOUT_SECS`
+//! environment variables.
+
+use ic_bench::load_tpch;
+use ic_bench::runner::{calibrated_network, sweep_timeout};
+use ic_core::{Cluster, ClusterConfig, FaultPlan, SystemVariant};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let backups: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let sites: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let horizon: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let cluster = Cluster::new(ClusterConfig {
+        sites,
+        backups,
+        variant: SystemVariant::ICPlus,
+        network: calibrated_network(),
+        exec_timeout: Some(sweep_timeout()),
+        ..ClusterConfig::default()
+    });
+    println!("== chaos: TPC-H sf={sf} seed={seed} backups={backups} sites={sites} ==");
+    load_tpch(&cluster, sf, 42).expect("load tpch");
+
+    let queries: Vec<usize> = (1..=22)
+        .filter(|q| !ic_benchdata::tpch::EXCLUDED_UNSUPPORTED.contains(q))
+        .collect();
+
+    // Healthy baseline: which queries pass, and how fast, without faults.
+    let mut baseline: Vec<(usize, usize, Duration)> = Vec::new();
+    for &q in &queries {
+        let sql = ic_benchdata::tpch::query(q);
+        let t0 = Instant::now();
+        match cluster.query(&sql) {
+            Ok(r) => baseline.push((q, r.rows.len(), t0.elapsed())),
+            Err(e) => println!("Q{q:02}: baseline FAILED ({e}) — excluded from chaos scoring"),
+        }
+    }
+    println!("baseline: {}/{} queries pass", baseline.len(), queries.len());
+
+    // Install the seeded schedule and print it; the timeline is the full
+    // reproducibility contract — rerunning with the same seed replays it.
+    let plan = FaultPlan::random(seed, sites, horizon);
+    println!("-- fault schedule (logical ticks = cross-site messages) --");
+    for line in plan.timeline() {
+        println!("  {line}");
+    }
+    cluster.install_faults(plan);
+
+    // Chaos pass over every baseline-passing query.
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut recoveries: Vec<Duration> = Vec::new();
+    for (q, base_rows, base_wall) in &baseline {
+        let sql = ic_benchdata::tpch::query(*q);
+        let t0 = Instant::now();
+        match cluster.query(&sql) {
+            Ok(r) => {
+                ok += 1;
+                let wall = t0.elapsed();
+                let note = if r.rows.len() == *base_rows { "rows match" } else { "ROW MISMATCH" };
+                if r.retries > 0 {
+                    recoveries.push(wall);
+                    println!(
+                        "Q{q:02}: recovered after {} retr{} ({note}, wall {wall:?} vs {base_wall:?} healthy)",
+                        r.retries,
+                        if r.retries == 1 { "y" } else { "ies" },
+                    );
+                } else {
+                    println!("Q{q:02}: ok ({note}, wall {wall:?})");
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                println!("Q{q:02}: FAILED under faults: {e}");
+            }
+        }
+    }
+
+    let live = cluster.network().liveness().snapshot();
+    if !live.is_empty() {
+        println!("-- final liveness --");
+        for (s, st) in live {
+            println!("  {s}: {st:?}");
+        }
+    }
+    println!("-- chaos summary --");
+    println!(
+        "success rate: {ok}/{} ({:.1}%)",
+        baseline.len(),
+        100.0 * ok as f64 / baseline.len().max(1) as f64
+    );
+    println!("queries that needed failover: {}", recoveries.len());
+    if !recoveries.is_empty() {
+        let mean =
+            recoveries.iter().sum::<Duration>() / recoveries.len() as u32;
+        println!("mean recovery latency (wall time of retried queries): {mean:?}");
+    }
+    if failed > 0 {
+        println!("NOTE: {failed} quer{} failed under the fault schedule — expected when the schedule kills more sites than `backups` can cover", if failed == 1 { "y" } else { "ies" });
+    }
+}

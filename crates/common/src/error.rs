@@ -35,6 +35,14 @@ pub enum IcError {
     MemoryLimit { limit_rows: u64 },
     /// Catalog errors: unknown table/column/index, duplicate definitions.
     Catalog(String),
+    /// A site needed by the query is crashed/unreachable, or a link fault
+    /// lost an exchange message. Retryable: the coordinator replans
+    /// against the surviving topology (backup partition owners substituted
+    /// for dead sites) and tries again.
+    SiteUnavailable { site: usize, detail: String },
+    /// The bounded failover loop gave up: every attempt failed with a
+    /// retryable error. `chain` records each attempt's failure in order.
+    RetriesExhausted { attempts: u32, chain: Vec<String> },
 }
 
 impl fmt::Display for IcError {
@@ -56,6 +64,13 @@ impl fmt::Display for IcError {
                 write!(f, "execution exceeded the {limit_rows}-row buffered-memory limit")
             }
             IcError::Catalog(m) => write!(f, "catalog error: {m}"),
+            IcError::SiteUnavailable { site, detail } => {
+                write!(f, "site{site} unavailable: {detail}")
+            }
+            IcError::RetriesExhausted { attempts, chain } => {
+                write!(f, "failover exhausted after {attempts} attempt(s): ")?;
+                write!(f, "{}", chain.join(" -> "))
+            }
         }
     }
 }
@@ -71,6 +86,12 @@ impl IcError {
             self,
             IcError::Plan(_) | IcError::PlannerBudgetExceeded { .. }
         )
+    }
+
+    /// True when retrying the query against the surviving topology may
+    /// succeed (the coordinator's failover loop keys on this).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IcError::SiteUnavailable { .. })
     }
 }
 
@@ -93,5 +114,22 @@ mod tests {
         assert!(IcError::PlannerBudgetExceeded { rules_fired: 1, budget: 1 }.is_planner_failure());
         assert!(!IcError::Parse("p".into()).is_planner_failure());
         assert!(!IcError::ExecTimeout { limit_ms: 1 }.is_planner_failure());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        let site = IcError::SiteUnavailable { site: 2, detail: "crashed".into() };
+        assert!(site.is_retryable());
+        assert!(site.to_string().contains("site2"));
+        assert!(!IcError::Exec("boom".into()).is_retryable());
+        assert!(!IcError::ExecTimeout { limit_ms: 1 }.is_retryable());
+        let exhausted = IcError::RetriesExhausted {
+            attempts: 3,
+            chain: vec!["a".into(), "b".into(), "c".into()],
+        };
+        assert!(!exhausted.is_retryable());
+        let msg = exhausted.to_string();
+        assert!(msg.contains("3 attempt"));
+        assert!(msg.contains("a -> b -> c"));
     }
 }

@@ -4,7 +4,7 @@
 use crate::result::QueryResult;
 use ic_common::{IcError, IcResult, Row, Schema};
 use ic_exec::{execute_plan, ExecOptions};
-use ic_net::{Network, NetworkConfig, Topology};
+use ic_net::{FaultInjector, FaultPlan, Network, NetworkConfig, SiteId, Topology};
 use ic_opt::optimize_query;
 use ic_plan::PlannerFlags;
 use ic_sql::ast::Statement;
@@ -61,6 +61,16 @@ pub struct ClusterConfig {
     pub planner_budget: Option<u64>,
     /// Per-query buffered-row memory budget (Ignite's resource limit).
     pub memory_limit_rows: u64,
+    /// Replica copies per hash partition (Ignite's `backups=N`; the paper
+    /// benchmarks 0). With `backups >= 1`, queries survive up to that many
+    /// site deaths via failover to backup owners.
+    pub backups: usize,
+    /// Retry budget of the failover loop: how many times a query failing
+    /// with a retryable [`IcError::SiteUnavailable`] is replanned against
+    /// the surviving topology before [`IcError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Base backoff between failover retries (doubles per attempt).
+    pub retry_backoff: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +82,9 @@ impl Default for ClusterConfig {
             exec_timeout: Some(Duration::from_secs(30)),
             planner_budget: None,
             memory_limit_rows: 60_000_000,
+            backups: 0,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -86,6 +99,9 @@ impl ClusterConfig {
             exec_timeout: Some(Duration::from_secs(10)),
             planner_budget: None,
             memory_limit_rows: 60_000_000,
+            backups: 0,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -106,14 +122,15 @@ impl Cluster {
         if let Some(b) = config.planner_budget {
             flags.planner_budget = b;
         }
-        let catalog = Catalog::new(Topology::new(config.sites));
+        let catalog = Catalog::new(Topology::with_backups(config.sites, config.backups));
         let network = Network::new(config.network.clone());
         Cluster { config, flags, catalog, network }
     }
 
     /// A cluster sharing this one's data but running as a different system
     /// variant — how the harness compares IC / IC+ / IC+M on identical
-    /// data without reloading.
+    /// data without reloading. The new cluster gets a *fresh* network:
+    /// fault schedules and liveness state do not carry over.
     pub fn with_variant(&self, variant: SystemVariant) -> Cluster {
         let mut config = self.config.clone();
         config.variant = variant;
@@ -143,6 +160,30 @@ impl Cluster {
 
     pub fn variant(&self) -> SystemVariant {
         self.config.variant
+    }
+
+    /// Install a seeded, deterministic fault schedule on this cluster's
+    /// network (replacing any previous one). Returns the injector so
+    /// callers can read its logical clock and fault log.
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        self.network.install_faults(plan)
+    }
+
+    /// Remove any fault schedule and return every site to `Alive`.
+    pub fn clear_faults(&self) {
+        self.network.clear_faults()
+    }
+
+    /// Mark a site permanently dead (operator-style, without a fault
+    /// plan). Subsequent queries replan around it; with `backups = 0` its
+    /// partitions are lost and partitioned queries fail.
+    pub fn kill_site(&self, site: usize) {
+        self.network.liveness().mark_dead(SiteId(site));
+    }
+
+    /// Bring a killed site back (the inverse of [`Cluster::kill_site`]).
+    pub fn revive_site(&self, site: usize) {
+        self.network.liveness().mark_alive(SiteId(site));
     }
 
     /// Execute a DDL statement (CREATE TABLE / CREATE INDEX).
@@ -234,12 +275,54 @@ impl Cluster {
     /// Row count of a table.
     pub fn table_rows(&self, name: &str) -> IcResult<usize> {
         let id = self.table_id(name)?;
-        Ok(self.catalog.table_data(id).unwrap().total_rows())
+        let data = self
+            .catalog
+            .table_data(id)
+            .ok_or_else(|| IcError::Catalog(format!("no data handle for table '{name}'")))?;
+        Ok(data.total_rows())
     }
 
     /// Execute a SELECT query end-to-end. `EXPLAIN SELECT …` returns the
     /// optimized physical plan as a single-column result.
+    ///
+    /// Retryable failures ([`IcError::SiteUnavailable`]: a site crashed or
+    /// a link dropped an exchange message mid-run) are retried up to
+    /// `max_retries` times with exponential backoff; each retry replans
+    /// the query against the surviving topology, substituting backup
+    /// partition owners for dead sites. When every attempt fails
+    /// retryably, the whole failure chain surfaces as
+    /// [`IcError::RetriesExhausted`].
     pub fn query(&self, sql: &str) -> IcResult<QueryResult> {
+        let mut chain: Vec<String> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.query_attempt(sql) {
+                Ok(mut result) => {
+                    result.retries = attempt;
+                    return Ok(result);
+                }
+                Err(e) if e.is_retryable() => {
+                    chain.push(e.to_string());
+                    if attempt >= self.config.max_retries {
+                        return Err(IcError::RetriesExhausted { attempts: attempt + 1, chain });
+                    }
+                    attempt += 1;
+                    let backoff =
+                        self.config.retry_backoff * 2u32.saturating_pow((attempt - 1).min(8));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    // Let transiently-crashed sites whose windows have
+                    // closed rejoin before replanning.
+                    self.network.refresh_liveness();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One planning + execution attempt (no failover).
+    fn query_attempt(&self, sql: &str) -> IcResult<QueryResult> {
         let plan_start = Instant::now();
         let ast = match parse_sql(sql)? {
             Statement::Query(q) => q,
@@ -257,6 +340,7 @@ impl Cluster {
                     plan_time: plan_start.elapsed(),
                     rule_firings: optimized.rule_firings,
                     reorder_disabled: optimized.reorder_disabled,
+                    retries: 0,
                 });
             }
             _ => return Err(IcError::Exec("use run() for DDL statements".into())),
@@ -278,6 +362,7 @@ impl Cluster {
             plan_time,
             rule_firings: optimized.rule_firings,
             reorder_disabled: optimized.reorder_disabled,
+            retries: 0,
         })
     }
 
@@ -461,5 +546,64 @@ mod tests {
         let plus = base.with_variant(SystemVariant::ICPlus);
         assert_eq!(plus.table_rows("sales").unwrap(), 1000);
         assert_eq!(plus.variant(), SystemVariant::ICPlus);
+    }
+
+    fn failover_cluster(sites: usize, backups: usize) -> Cluster {
+        let cluster = Cluster::new(ClusterConfig {
+            sites,
+            backups,
+            ..ClusterConfig::test_default()
+        });
+        cluster
+            .run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+            .unwrap();
+        let rows: Vec<Row> =
+            (0..2000).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 7)])).collect();
+        cluster.insert("t", rows).unwrap();
+        cluster.analyze_all().unwrap();
+        cluster
+    }
+
+    #[test]
+    fn dead_site_failover_with_backups() {
+        let cluster = failover_cluster(4, 1);
+        let baseline = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(baseline.rows[0].0[0].as_int(), Some(2000));
+        cluster.kill_site(2);
+        // The dead site's partition is served by its backup owner; the
+        // first attempt already plans around it, so no retries are needed.
+        let r = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0].0[0].as_int(), Some(2000));
+        cluster.revive_site(2);
+        let r = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0].0[0].as_int(), Some(2000));
+    }
+
+    #[test]
+    fn dead_site_without_backups_exhausts_retries() {
+        let cluster = failover_cluster(4, 0);
+        cluster.kill_site(2);
+        let err = cluster.query("SELECT count(*) FROM t").unwrap_err();
+        match err {
+            IcError::RetriesExhausted { attempts, chain } => {
+                assert_eq!(attempts, cluster.config().max_retries + 1);
+                assert_eq!(chain.len() as u32, attempts);
+                assert!(chain[0].contains("partition"), "{chain:?}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_crash_recovers_via_retry() {
+        let cluster = failover_cluster(4, 1);
+        // Crash from tick 1: site3 is alive when the query is planned, but
+        // it sends at least two exchange messages (batch + EOF) of which
+        // at most one can occupy tick 0 — so the first attempt is
+        // guaranteed to hit the crash mid-run and the retry must replan.
+        cluster.install_faults(FaultPlan::new(77).crash(SiteId(3), 1));
+        let r = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0].0[0].as_int(), Some(2000));
+        assert!(r.retries >= 1, "expected at least one failover retry");
     }
 }

@@ -44,5 +44,8 @@ pub mod result;
 
 pub use cluster::{Cluster, ClusterConfig, SystemVariant};
 pub use ic_common::{Datum, IcError, IcResult, Row};
-pub use ic_net::NetworkConfig;
+pub use ic_net::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, Liveness, NetworkConfig, SiteId, SiteState,
+    TICK_FOREVER,
+};
 pub use result::QueryResult;

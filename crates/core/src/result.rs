@@ -19,6 +19,9 @@ pub struct QueryResult {
     pub rule_firings: u64,
     /// Whether the §4.3 conditional reorder-free phase was used.
     pub reorder_disabled: bool,
+    /// Failover retries used: how many times the query was replanned
+    /// against the surviving topology after a retryable site fault.
+    pub retries: u32,
 }
 
 impl QueryResult {

@@ -5,7 +5,7 @@
 //! *sender* ships rows into the consuming fragment's *receiver* (the
 //! exchange node itself marks the receiver position in the consumer).
 
-use ic_net::{SiteId, Topology};
+use ic_net::{Assignment, SiteId};
 use ic_plan::ops::{PhysOp, PhysPlan};
 use ic_plan::Distribution;
 use std::sync::Arc;
@@ -106,21 +106,24 @@ impl ExchangeRegistry {
 }
 
 /// The sites a fragment executes at, derived from its subtree's delivered
-/// distribution: partitioned subtrees run at every site, single/broadcast
-/// subtrees at the coordinator (the paper's "site that received the
-/// original request").
-fn fragment_sites(root: &PhysPlan, topology: &Topology) -> Vec<SiteId> {
+/// distribution: partitioned subtrees run at every *live* site of the
+/// assignment, single/broadcast subtrees at its coordinator (the paper's
+/// "site that received the original request", failed over if site 0 is
+/// down).
+fn fragment_sites(root: &PhysPlan, assignment: &Assignment) -> Vec<SiteId> {
     match root.dist {
-        Distribution::Hash(_) | Distribution::Random => topology.sites().collect(),
-        Distribution::Single | Distribution::Broadcast => vec![topology.coordinator()],
+        Distribution::Hash(_) | Distribution::Random => assignment.live_sites().to_vec(),
+        Distribution::Single | Distribution::Broadcast => vec![assignment.coordinator()],
     }
 }
 
 /// Algorithm 1: split a physical plan into fragments at its exchanges.
-/// Fragment 0 is the root fragment.
+/// Fragment 0 is the root fragment. Fragments are placed against an
+/// [`Assignment`] — the surviving-site view of the topology — so dead
+/// sites' partitions are served by their backup owners.
 pub fn fragment_plan(
     plan: &Arc<PhysPlan>,
-    topology: &Topology,
+    assignment: &Assignment,
 ) -> (Vec<Fragment>, ExchangeRegistry) {
     let mut registry = ExchangeRegistry::default();
     let mut fragments = Vec::new();
@@ -141,7 +144,7 @@ pub fn fragment_plan(
                 stack.push(c.clone());
             }
         }
-        let sites = fragment_sites(&root, topology);
+        let sites = fragment_sites(&root, assignment);
         fragments.push(Fragment { id: FragmentId(fragments.len()), root, sink, sites });
     }
     (fragments, registry)
@@ -151,6 +154,7 @@ pub fn fragment_plan(
 mod tests {
     use super::*;
     use ic_common::{DataType, Field, Schema};
+    use ic_net::Topology;
     use ic_plan::cost::Cost;
     use ic_plan::ops::SortKey;
     use ic_storage::TableId;
@@ -200,8 +204,8 @@ mod tests {
             },
             Distribution::Single,
         );
-        let topo = Topology::new(4);
-        let (fragments, registry) = fragment_plan(&join, &topo);
+        let assignment = Assignment::healthy(&Topology::new(4));
+        let (fragments, registry) = fragment_plan(&join, &assignment);
         assert_eq!(fragments.len(), 3);
         assert_eq!(registry.len(), 2);
         // Root fragment at the coordinator; scan fragments at all sites.
@@ -218,8 +222,8 @@ mod tests {
     #[test]
     fn no_exchange_single_fragment() {
         let s = scan(Distribution::Single);
-        let topo = Topology::new(2);
-        let (fragments, registry) = fragment_plan(&s, &topo);
+        let assignment = Assignment::healthy(&Topology::new(2));
+        let (fragments, registry) = fragment_plan(&s, &assignment);
         assert_eq!(fragments.len(), 1);
         assert!(registry.is_empty());
     }
@@ -241,11 +245,28 @@ mod tests {
             Distribution::Single,
         );
         let sort = node(PhysOp::Sort { input: ex2, keys: vec![SortKey::asc(0)] }, Distribution::Single);
-        let topo = Topology::new(2);
-        let (fragments, _) = fragment_plan(&sort, &topo);
+        let assignment = Assignment::healthy(&Topology::new(2));
+        let (fragments, _) = fragment_plan(&sort, &assignment);
         assert_eq!(fragments.len(), 3);
         // middle fragment (filter) runs at all sites, sinks into exchange 2
         let middle = fragments.iter().find(|fr| matches!(&fr.root.op, PhysOp::Filter { .. })).unwrap();
         assert_eq!(middle.sites.len(), 2);
+    }
+
+    #[test]
+    fn dead_site_excluded_from_fragment_placement() {
+        let s = scan(Distribution::Hash(vec![0]));
+        let ex = node(
+            PhysOp::Exchange { input: s, to: Distribution::Single },
+            Distribution::Single,
+        );
+        let sort = node(PhysOp::Sort { input: ex, keys: vec![SortKey::asc(0)] }, Distribution::Single);
+        let topo = Topology::with_backups(4, 1);
+        let down = [SiteId(2)].into_iter().collect();
+        let assignment = topo.assignment(&down).unwrap();
+        let (fragments, _) = fragment_plan(&sort, &assignment);
+        let scan_frag =
+            fragments.iter().find(|fr| matches!(&fr.root.op, PhysOp::TableScan { .. })).unwrap();
+        assert_eq!(scan_frag.sites, vec![SiteId(0), SiteId(1), SiteId(3)]);
     }
 }

@@ -77,6 +77,16 @@ impl ControlBlock {
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Relaxed);
     }
+
+    /// Non-failing form of [`ControlBlock::check`]: has the query been
+    /// cancelled or its deadline passed? Polled by in-flight network
+    /// transfers so a long bandwidth sleep stops at the deadline.
+    pub fn is_stopped(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
 }
 
 /// A pull-based batch stream.

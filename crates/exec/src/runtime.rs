@@ -7,7 +7,10 @@ use crate::fragment::{fragment_plan, ExchangeId, ExchangeRegistry, Sink};
 use crate::operators::*;
 use crate::variant::{plan_variants, SourceMode, VariantPlan};
 use ic_common::{Batch, IcError, IcResult, Row};
-use ic_net::{net_channel, NetReceiver, NetSender, Network, SiteId, Topology, WireSize};
+use ic_net::{
+    net_channel, AbortFn, Assignment, FailoverError, NetError, NetReceiver, NetSender, Network,
+    SiteId, WireSize,
+};
 use ic_plan::ops::{PhysOp, PhysPlan};
 use ic_plan::Distribution;
 use ic_storage::{Catalog, TableDistribution};
@@ -135,10 +138,45 @@ fn uniquify(plan: &Arc<PhysPlan>) -> Arc<PhysPlan> {
     Arc::new(PhysPlan { op, ..(**plan).clone() })
 }
 
+/// Classify a network failure: dead sites and lost exchange messages are
+/// *retryable* ([`IcError::SiteUnavailable`]) — the coordinator replans
+/// against the surviving topology — while plumbing failures stay terminal.
+fn net_err(dst: SiteId, e: NetError) -> IcError {
+    match e {
+        NetError::SiteDead(s) => IcError::SiteUnavailable {
+            site: s.0,
+            detail: format!("{s} crashed during an exchange transfer"),
+        },
+        NetError::LinkFault => IcError::SiteUnavailable {
+            site: dst.0,
+            detail: format!("link to {dst} dropped an exchange message"),
+        },
+        NetError::Aborted => {
+            IcError::Exec("exchange transfer aborted by deadline/cancellation".into())
+        }
+        NetError::Disconnected => IcError::Exec("exchange link disconnected".into()),
+        NetError::Timeout => IcError::Exec("exchange send timed out".into()),
+    }
+}
+
+/// Classify a failed assignment: no survivable placement exists right now,
+/// which the retry loop may still recover from (a transient crash ends) or
+/// turn into [`IcError::RetriesExhausted`].
+fn failover_err(e: FailoverError) -> IcError {
+    match e {
+        FailoverError::NoLiveSites => {
+            IcError::SiteUnavailable { site: 0, detail: e.to_string() }
+        }
+        FailoverError::PartitionLost { primary, .. } => {
+            IcError::SiteUnavailable { site: primary.0, detail: e.to_string() }
+        }
+    }
+}
+
 /// The sending side of one fragment instance's sink.
 struct ExchangeSender {
     to: Distribution,
-    topology: Topology,
+    assignment: Arc<Assignment>,
     /// (consumer site, consumer variant, sender pre-bound to that endpoint)
     endpoints: Vec<(SiteId, usize, NetSender<Msg>)>,
     mode: SourceMode,
@@ -165,16 +203,13 @@ impl ExchangeSender {
         match self.mode {
             SourceMode::Duplicator => {
                 for tx in eps {
-                    tx.send(Msg::Batch(batch.clone()))
-                        .map_err(|_| IcError::Exec("exchange link failed".into()))?;
+                    tx.send(Msg::Batch(batch.clone())).map_err(|e| net_err(site, e))?;
                 }
             }
             SourceMode::Splitter => {
                 let pick = self.rr % eps.len();
                 let tx = eps[pick];
-                let result = tx
-                    .send(Msg::Batch(batch))
-                    .map_err(|_| IcError::Exec("exchange link failed".into()));
+                let result = tx.send(Msg::Batch(batch)).map_err(|e| net_err(site, e));
                 drop(eps);
                 self.rr += 1;
                 result?;
@@ -207,8 +242,8 @@ impl ExchangeSender {
             Distribution::Hash(keys) => {
                 let mut per_site: HashMap<SiteId, Batch> = HashMap::new();
                 for row in batch {
-                    let p = self.topology.partition_of_hash(row.hash_key(&keys));
-                    per_site.entry(self.topology.site_of_partition(p)).or_default().push(row);
+                    let site = self.assignment.site_for_hash(row.hash_key(&keys));
+                    per_site.entry(site).or_default().push(row);
                 }
                 for (site, rows) in per_site {
                     self.ship_to_site(site, rows)?;
@@ -247,7 +282,7 @@ impl RowSource for ReceiverSource {
                 Ok(Msg::Eof) => {
                     self.remaining_eofs -= 1;
                 }
-                Err(ic_net::channel::NetError::Timeout) => continue,
+                Err(NetError::Timeout) => continue,
                 Err(_) => {
                     return Err(IcError::Exec(
                         "exchange peer disconnected before EOF (upstream failure)".into(),
@@ -261,6 +296,8 @@ impl RowSource for ReceiverSource {
 /// Per-instance build context.
 struct BuildCtx<'a> {
     catalog: &'a Catalog,
+    /// The surviving-site partition map this query attempt executes under.
+    assignment: &'a Assignment,
     site: SiteId,
     vid: usize,
     nvariants: usize,
@@ -284,11 +321,14 @@ impl BuildCtx<'_> {
             .catalog
             .table_def(table)
             .ok_or_else(|| IcError::Exec(format!("unknown table {table}")))?;
-        let data = self.catalog.table_data(table).unwrap();
+        let data = self
+            .catalog
+            .table_data(table)
+            .ok_or_else(|| IcError::Exec(format!("no data handle for table {table}")))?;
         Ok(match def.distribution {
             TableDistribution::Replicated => vec![data.partition(0)],
             TableDistribution::HashPartitioned { .. } => {
-                let parts = self.catalog.topology().partitions_of_site(self.site);
+                let parts = self.assignment.partitions_of(self.site);
                 data.partitions(&parts)
             }
         })
@@ -310,11 +350,14 @@ impl BuildCtx<'_> {
                     .catalog
                     .index(*index)
                     .ok_or_else(|| IcError::Exec("unknown index".into()))?;
-                let def = self.catalog.table_def(*table).unwrap();
+                let def = self
+                    .catalog
+                    .table_def(*table)
+                    .ok_or_else(|| IcError::Exec(format!("unknown table {table}")))?;
                 let parts: Vec<usize> = match def.distribution {
                     TableDistribution::Replicated => vec![0],
                     TableDistribution::HashPartitioned { .. } => {
-                        self.catalog.topology().partitions_of_site(self.site)
+                        self.assignment.partitions_of(self.site)
                     }
                 };
                 let runs: Vec<Arc<Vec<Row>>> =
@@ -418,9 +461,15 @@ pub fn execute_plan(
 ) -> IcResult<(Vec<Row>, QueryStats)> {
     let start = Instant::now();
     let (msgs0, bytes0, _) = network.stats.snapshot();
-    let topology = catalog.topology().clone();
+    // Plan placement against the *surviving* topology: dead/suspect sites
+    // are excluded and their partitions served by backup owners. Fails
+    // retryably when a partition has no live copy.
+    network.refresh_liveness();
+    let down = network.liveness().down_sites();
+    let assignment =
+        Arc::new(catalog.topology().assignment(&down).map_err(failover_err)?);
     let plan = uniquify(plan);
-    let (fragments, registry) = fragment_plan(&plan, &topology);
+    let (fragments, registry) = fragment_plan(&plan, &assignment);
     let registry = Arc::new(registry);
     let vplans: Vec<VariantPlan> = fragments
         .iter()
@@ -430,6 +479,12 @@ pub fn execute_plan(
     let deadline = opts.timeout.map(|t| start + t);
     let limit_ms = opts.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
     let ctrl = ControlBlock::with_memory_limit(deadline, limit_ms, opts.memory_limit_rows);
+    // Polled by in-flight transfers so bandwidth sleeps stop at the
+    // deadline instead of overshooting it.
+    let abort: Arc<AbortFn> = {
+        let ctrl = ctrl.clone();
+        Arc::new(move || ctrl.is_stopped())
+    };
 
     // --- wire exchanges -------------------------------------------------
     // Producer fragment of each exchange.
@@ -473,7 +528,7 @@ pub fn execute_plan(
 
     // --- spawn non-root fragment instances ------------------------------
     let error_slot: Arc<Mutex<Option<IcError>>> = Arc::new(Mutex::new(None));
-    let mut handles = Vec::new();
+    let mut handles: Vec<(usize, SiteId, usize, std::thread::JoinHandle<()>)> = Vec::new();
     let mut threads = 0usize;
     for (fi, fragment) in fragments.iter().enumerate() {
         if fragment.is_root() {
@@ -502,11 +557,11 @@ pub fn execute_plan(
                 }
                 let endpoints: Vec<(SiteId, usize, NetSender<Msg>)> = tx_protos[&sink_id]
                     .iter()
-                    .map(|(s, v, tx)| (*s, *v, tx.with_src(site)))
+                    .map(|(s, v, tx)| (*s, *v, tx.with_src(site).with_abort(abort.clone())))
                     .collect();
                 let mut sender = ExchangeSender {
                     to: to.clone(),
-                    topology: topology.clone(),
+                    assignment: assignment.clone(),
                     endpoints,
                     mode: consumer_mode,
                     rr: 0,
@@ -518,10 +573,12 @@ pub fn execute_plan(
                 let vplan = vplans[fi].clone();
                 let nvariants = vplans[fi].variants;
                 let error_slot = error_slot.clone();
-                handles.push(std::thread::spawn(move || {
+                let assignment2 = assignment.clone();
+                handles.push((fi, site, vid, std::thread::spawn(move || {
                     let run = || -> IcResult<()> {
                         let mut ctx = BuildCtx {
                             catalog: &catalog,
+                            assignment: &assignment2,
                             site,
                             vid,
                             nvariants,
@@ -546,7 +603,7 @@ pub fn execute_plan(
                             ctrl2.cancel();
                         }
                     }
-                }));
+                })));
             }
         }
     }
@@ -558,7 +615,7 @@ pub fn execute_plan(
     let mut root_result: IcResult<Vec<Row>> = (|| {
         for ex in root.receiver_exchanges(&registry) {
             let rx = rx_map
-                .remove(&(ex, topology.coordinator(), 0))
+                .remove(&(ex, assignment.coordinator(), 0))
                 .ok_or_else(|| IcError::Exec("root receiver missing".into()))?;
             receivers.insert(
                 ex,
@@ -567,7 +624,8 @@ pub fn execute_plan(
         }
         let mut ctx = BuildCtx {
             catalog,
-            site: topology.coordinator(),
+            assignment: &assignment,
+            site: assignment.coordinator(),
             vid: 0,
             nvariants: 1,
             vplan: &VariantPlan::single(),
@@ -582,11 +640,22 @@ pub fn execute_plan(
     if root_result.is_err() {
         ctrl.cancel();
     }
-    for h in handles {
-        if h.join().is_err() {
+    for (fi, site, vid, h) in handles {
+        if let Err(payload) = h.join() {
+            // Downcast the panic payload so chaos failures are attributable
+            // to a specific fragment instance.
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
             let mut slot = error_slot.lock();
             if slot.is_none() {
-                *slot = Some(IcError::Exec("fragment thread panicked".into()));
+                *slot = Some(IcError::Exec(format!(
+                    "fragment {fi} at {site} (variant {vid}) panicked: {msg}"
+                )));
             }
         }
     }
@@ -603,8 +672,15 @@ pub fn execute_plan(
         if mem_exceeded && !matches!(err, IcError::MemoryLimit { .. }) {
             root_result = Err(IcError::MemoryLimit { limit_rows: opts.memory_limit_rows });
         } else if deadline_passed
-            && !matches!(err, IcError::ExecTimeout { .. } | IcError::MemoryLimit { .. })
+            && !matches!(
+                err,
+                IcError::ExecTimeout { .. }
+                    | IcError::MemoryLimit { .. }
+                    | IcError::SiteUnavailable { .. }
+            )
         {
+            // Site faults keep their identity even when the deadline also
+            // passed: they are retryable, a timeout is not.
             root_result = Err(IcError::ExecTimeout { limit_ms });
         }
     }

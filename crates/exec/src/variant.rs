@@ -262,8 +262,8 @@ mod tests {
             Distribution::Single,
         );
         let limit = node(PhysOp::Limit { input: ex2, fetch: Some(1), offset: 0 }, Distribution::Single);
-        let topo = Topology::new(2);
-        let (fragments, registry) = fragment_plan(&limit, &topo);
+        let assignment = ic_net::Assignment::healthy(&Topology::new(2));
+        let (fragments, registry) = fragment_plan(&limit, &assignment);
         let middle = fragments
             .iter()
             .find(|f| matches!(&f.root.op, PhysOp::Filter { .. }))

@@ -4,7 +4,7 @@
 use ic_common::agg::AggFunc;
 use ic_common::{DataType, Datum, Expr, Field, IcError, Row, Schema};
 use ic_exec::{execute_plan, ExecOptions};
-use ic_net::{Network, NetworkConfig, SiteId, Topology};
+use ic_net::{FaultPlan, Network, NetworkConfig, SiteId, Topology, TICK_FOREVER};
 use ic_opt::optimize_query;
 use ic_plan::ops::{AggCall, JoinKind, LogicalPlan, RelOp};
 use ic_plan::PlannerFlags;
@@ -108,17 +108,73 @@ fn site_counts_agree() {
     }
 }
 
-/// A failed network link surfaces as a clean execution error, not a hang.
+/// A failed network link surfaces as a clean, *retryable* execution error,
+/// not a hang.
 #[test]
 fn link_fault_fails_cleanly() {
     let (cat, net) = setup(4);
-    net.set_fault_hook(|_, dst| dst != SiteId(0)); // cut everything into the coordinator
+    // Cut every link into the coordinator with a deterministic plan.
+    let mut plan = FaultPlan::new(11);
+    for src in 1..4 {
+        plan = plan.drop_link(SiteId(src), SiteId(0), 1.0, 0, TICK_FOREVER);
+    }
+    net.install_faults(plan);
     let opt = optimize_query(agg_join_plan(&cat), &cat, &PlannerFlags::ic_plus()).unwrap();
-    let result = execute_plan(&opt.plan, &cat, &net, &ExecOptions::default());
-    assert!(result.is_err(), "expected link failure");
-    net.clear_fault_hook();
+    let err = execute_plan(&opt.plan, &cat, &net, &ExecOptions::default()).unwrap_err();
+    assert!(matches!(err, IcError::SiteUnavailable { .. }), "{err}");
+    assert!(err.is_retryable());
+    net.clear_faults();
     let (rows, _) = execute_plan(&opt.plan, &cat, &net, &ExecOptions::default()).unwrap();
     assert_eq!(rows.len(), 13);
+}
+
+/// A permanently dead site is planned around when backups cover its
+/// partitions: the query still answers, from the backup owners.
+#[test]
+fn dead_site_served_by_backup_owner() {
+    let cat = {
+        let cat = Catalog::new(Topology::with_backups(4, 1));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Double),
+        ]);
+        let t = cat
+            .create_table(
+                "t",
+                schema,
+                vec![0],
+                TableDistribution::HashPartitioned { key_cols: vec![0] },
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..5000)
+            .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 13), Datum::Double((i % 31) as f64)]))
+            .collect();
+        cat.insert(t, rows).unwrap();
+        cat.analyze(t).unwrap();
+        let rschema =
+            Schema::new(vec![Field::new("id", DataType::Int), Field::new("w", DataType::Int)]);
+        let r = cat
+            .create_table(
+                "r",
+                rschema,
+                vec![0],
+                TableDistribution::HashPartitioned { key_cols: vec![0] },
+            )
+            .unwrap();
+        let rrows: Vec<Row> =
+            (0..13).map(|i| Row(vec![Datum::Int(i), Datum::Int(i * 10)])).collect();
+        cat.insert(r, rrows).unwrap();
+        cat.analyze(r).unwrap();
+        cat
+    };
+    let net = Network::new(NetworkConfig::instant());
+    let flags = PlannerFlags::ic_plus();
+    let baseline = run(&cat, &net, &flags, 1);
+    net.liveness().mark_dead(SiteId(2));
+    let failed_over = run(&cat, &net, &flags, 1);
+    assert_eq!(baseline, failed_over);
+    assert_eq!(baseline.len(), 13);
 }
 
 /// The memory budget aborts a pathological plan instead of exhausting RAM.

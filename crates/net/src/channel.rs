@@ -3,11 +3,13 @@
 //! These back the executor's sender/receiver operator pairs (the paper's
 //! §3.2.3 exchange splitting). A [`NetSender`] charges the shared
 //! [`Network`] for each batch according to its wire size before it is
-//! delivered.
+//! delivered; faults injected by the network surface here as typed
+//! [`NetError`]s so the executor can tell a dead site from a dropped
+//! message.
 
 use crate::topology::SiteId;
 use crate::wire::WireSize;
-use crate::Network;
+use crate::{AbortFn, Network};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,6 +20,7 @@ pub struct NetSender<T> {
     net: Arc<Network>,
     src: SiteId,
     dst: SiteId,
+    abort: Option<Arc<AbortFn>>,
 }
 
 /// Receiving half of a simulated network link.
@@ -28,11 +31,18 @@ pub struct NetReceiver<T> {
 }
 
 /// Error returned when the peer hung up or a fault was injected.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
+    /// All senders/receivers on the link dropped.
     Disconnected,
+    /// The message was lost to a link fault (both endpoints stay alive).
     LinkFault,
+    /// An endpoint of the link has crashed.
+    SiteDead(SiteId),
+    /// A receive timed out.
     Timeout,
+    /// The transfer was abandoned mid-flight (query deadline/cancellation).
+    Aborted,
 }
 
 /// Create a simulated link from `src` to `dst` with a bounded in-flight
@@ -45,19 +55,18 @@ pub fn net_channel<T: WireSize>(
 ) -> (NetSender<T>, NetReceiver<T>) {
     let (tx, rx) = bounded(window);
     (
-        NetSender { tx, net, src, dst },
+        NetSender { tx, net, src, dst, abort: None },
         NetReceiver { rx, src, dst },
     )
 }
 
 impl<T: WireSize> NetSender<T> {
-    /// Ship one payload: charges network delay, then delivers (blocking if
-    /// the receiver's window is full).
+    /// Ship one payload: charges network delay (abortable mid-flight when
+    /// an abort hook is attached), then delivers (blocking if the
+    /// receiver's window is full).
     pub fn send(&self, payload: T) -> Result<(), NetError> {
         let bytes = payload.wire_size();
-        if !self.net.transfer(self.src, self.dst, bytes) {
-            return Err(NetError::LinkFault);
-        }
+        self.net.transfer_cancellable(self.src, self.dst, bytes, self.abort.as_deref())?;
         self.tx.send(payload).map_err(|_| NetError::Disconnected)
     }
 }
@@ -66,13 +75,32 @@ impl<T> NetSender<T> {
     /// A clone of this sender attributed to a different source site —
     /// used when several fragment instances share one receiver endpoint.
     pub fn with_src(&self, src: SiteId) -> NetSender<T> {
-        NetSender { tx: self.tx.clone(), net: self.net.clone(), src, dst: self.dst }
+        NetSender {
+            tx: self.tx.clone(),
+            net: self.net.clone(),
+            src,
+            dst: self.dst,
+            abort: self.abort.clone(),
+        }
+    }
+
+    /// Attach an abort hook polled during long bandwidth sleeps so
+    /// in-flight sends stop at the query deadline instead of overshooting.
+    pub fn with_abort(mut self, abort: Arc<AbortFn>) -> NetSender<T> {
+        self.abort = Some(abort);
+        self
     }
 }
 
 impl<T> Clone for NetSender<T> {
     fn clone(&self) -> Self {
-        NetSender { tx: self.tx.clone(), net: self.net.clone(), src: self.src, dst: self.dst }
+        NetSender {
+            tx: self.tx.clone(),
+            net: self.net.clone(),
+            src: self.src,
+            dst: self.dst,
+            abort: self.abort.clone(),
+        }
     }
 }
 
@@ -94,7 +122,7 @@ impl<T> NetReceiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NetworkConfig;
+    use crate::{FaultPlan, NetworkConfig, TICK_FOREVER};
     use ic_common::{Datum, Row};
 
     #[test]
@@ -119,9 +147,19 @@ mod tests {
     #[test]
     fn fault_injection_propagates() {
         let net = Network::new(NetworkConfig::instant());
-        net.set_fault_hook(|_, _| false);
+        net.install_faults(
+            FaultPlan::new(3).drop_link(SiteId(0), SiteId(1), 1.0, 0, TICK_FOREVER),
+        );
         let (tx, _rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 4);
         assert_eq!(tx.send(vec![]).unwrap_err(), NetError::LinkFault);
+    }
+
+    #[test]
+    fn dead_site_surfaces_in_send() {
+        let net = Network::new(NetworkConfig::instant());
+        net.install_faults(FaultPlan::new(3).crash(SiteId(1), 0));
+        let (tx, _rx) = net_channel::<Vec<Row>>(net, SiteId(0), SiteId(1), 4);
+        assert_eq!(tx.send(vec![]).unwrap_err(), NetError::SiteDead(SiteId(1)));
     }
 
     #[test]

@@ -8,19 +8,34 @@
 //! statistics. Same-site transfers are free, so plans that avoid shipping
 //! large relations (the paper's §5.1.1 fully-distributed joins) are rewarded
 //! exactly as on real hardware.
+//!
+//! The network also hosts the deterministic fault layer: install a seeded
+//! [`FaultPlan`] with [`Network::install_faults`] and every cross-site
+//! transfer consults the replayable [`FaultInjector`], which drops messages,
+//! crashes sites (updating the shared [`Liveness`] view) and inflates
+//! latency exactly as scheduled.
 
 pub mod channel;
+pub mod fault;
 pub mod topology;
 pub mod wire;
 
-pub use channel::{net_channel, NetReceiver, NetSender};
-pub use topology::{SiteId, Topology};
+pub use channel::{net_channel, NetError, NetReceiver, NetSender};
+pub use fault::{
+    FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, Liveness,
+    SiteState, SplitMix64, TICK_FOREVER,
+};
+pub use topology::{Assignment, FailoverError, SiteId, Topology};
 pub use wire::WireSize;
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Predicate polled during long bandwidth sleeps; returning `true` aborts
+/// the in-flight transfer (deadline passed / query cancelled).
+pub type AbortFn = dyn Fn() -> bool + Send + Sync;
 
 /// Network model parameters.
 #[derive(Debug, Clone)]
@@ -75,49 +90,111 @@ impl NetStats {
     }
 }
 
-/// The shared simulated network: config + stats + an optional fault hook.
+/// The shared simulated network: config + stats + the deterministic fault
+/// layer (an optional [`FaultInjector`] plus the cluster [`Liveness`] view).
 pub struct Network {
     pub config: NetworkConfig,
     pub stats: NetStats,
-    /// Fault injection: when set, every cross-site send consults this hook
-    /// and fails if it returns false. Used by failure-injection tests.
-    fault_hook: Mutex<Option<Box<dyn Fn(SiteId, SiteId) -> bool + Send + Sync>>>,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    liveness: Liveness,
 }
 
 impl Network {
     pub fn new(config: NetworkConfig) -> Arc<Network> {
-        Arc::new(Network { config, stats: NetStats::default(), fault_hook: Mutex::new(None) })
+        Arc::new(Network {
+            config,
+            stats: NetStats::default(),
+            faults: Mutex::new(None),
+            liveness: Liveness::default(),
+        })
     }
 
-    /// Install a fault-injection hook; `f(src, dst)` returning false makes
-    /// that link fail.
-    pub fn set_fault_hook(&self, f: impl Fn(SiteId, SiteId) -> bool + Send + Sync + 'static) {
-        *self.fault_hook.lock() = Some(Box::new(f));
+    /// Install a seeded fault schedule; replaces any previous one. The
+    /// injector's logical clock starts at zero, so the same plan replays
+    /// the same fault sequence.
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let injector = FaultInjector::new(plan);
+        injector.refresh(&self.liveness);
+        *self.faults.lock() = Some(injector.clone());
+        injector
     }
 
-    pub fn clear_fault_hook(&self) {
-        *self.fault_hook.lock() = None;
+    /// Remove the fault schedule and return every site to `Alive`.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = None;
+        self.liveness.reset();
+    }
+
+    /// The currently installed injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults.lock().clone()
+    }
+
+    /// Cluster-wide site-health view.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// Re-evaluate scheduled crash windows at the current logical time so
+    /// recovered sites rejoin and newly-due crashes take effect. No-op
+    /// without an installed fault plan.
+    pub fn refresh_liveness(&self) {
+        if let Some(injector) = self.fault_injector() {
+            injector.refresh(&self.liveness);
+        }
     }
 
     /// Record (and simulate) a transfer of `bytes` from `src` to `dst`.
-    /// Returns false if a fault hook failed the link.
-    pub fn transfer(&self, src: SiteId, dst: SiteId, bytes: usize) -> bool {
+    pub fn transfer(&self, src: SiteId, dst: SiteId, bytes: usize) -> Result<(), NetError> {
+        self.transfer_cancellable(src, dst, bytes, None)
+    }
+
+    /// [`Network::transfer`], but the bandwidth sleep is chunked and polls
+    /// `abort` between chunks so an in-flight transfer stops as soon as the
+    /// query's deadline/cancellation fires rather than overshooting it.
+    pub fn transfer_cancellable(
+        &self,
+        src: SiteId,
+        dst: SiteId,
+        bytes: usize,
+        abort: Option<&AbortFn>,
+    ) -> Result<(), NetError> {
         if src == dst {
             self.stats.local_messages.fetch_add(1, Ordering::Relaxed);
-            return true;
+            return Ok(());
         }
-        if let Some(hook) = self.fault_hook.lock().as_ref() {
-            if !hook(src, dst) {
-                return false;
+        // Clone the injector out so the faults lock is never held across a
+        // sleep.
+        let mut delay_factor: u32 = 1;
+        if let Some(injector) = self.fault_injector() {
+            match injector.decide(src, dst, &self.liveness) {
+                FaultDecision::Deliver { delay_factor: f } => delay_factor = f,
+                FaultDecision::Drop => return Err(NetError::LinkFault),
+                FaultDecision::SiteDown(site) => return Err(NetError::SiteDead(site)),
             }
         }
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        let delay = self.config.transfer_delay(bytes);
-        if !delay.is_zero() {
-            std::thread::sleep(delay);
+        let delay = self.config.transfer_delay(bytes) * delay_factor;
+        if delay.is_zero() {
+            return Ok(());
         }
-        true
+        match abort {
+            None => std::thread::sleep(delay),
+            Some(abort) => {
+                const CHUNK: Duration = Duration::from_millis(1);
+                let mut remaining = delay;
+                while !remaining.is_zero() {
+                    if abort() {
+                        return Err(NetError::Aborted);
+                    }
+                    let step = remaining.min(CHUNK);
+                    std::thread::sleep(step);
+                    remaining = remaining.saturating_sub(step);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -126,6 +203,7 @@ impl std::fmt::Debug for Network {
         f.debug_struct("Network")
             .field("config", &self.config)
             .field("stats", &self.stats)
+            .field("liveness", &self.liveness)
             .finish()
     }
 }
@@ -133,6 +211,7 @@ impl std::fmt::Debug for Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     #[test]
     fn delay_model() {
@@ -147,19 +226,62 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let net = Network::new(NetworkConfig::instant());
-        assert!(net.transfer(SiteId(0), SiteId(1), 100));
-        assert!(net.transfer(SiteId(0), SiteId(0), 100));
+        assert!(net.transfer(SiteId(0), SiteId(1), 100).is_ok());
+        assert!(net.transfer(SiteId(0), SiteId(0), 100).is_ok());
         let (msgs, bytes, local) = net.stats.snapshot();
         assert_eq!((msgs, bytes, local), (1, 100, 1));
     }
 
     #[test]
-    fn fault_hook_fails_link() {
+    fn fault_plan_fails_link_and_clears() {
         let net = Network::new(NetworkConfig::instant());
-        net.set_fault_hook(|_, dst| dst != SiteId(2));
-        assert!(net.transfer(SiteId(0), SiteId(1), 10));
-        assert!(!net.transfer(SiteId(0), SiteId(2), 10));
-        net.clear_fault_hook();
-        assert!(net.transfer(SiteId(0), SiteId(2), 10));
+        net.install_faults(FaultPlan::new(1).drop_link(SiteId(0), SiteId(2), 1.0, 0, TICK_FOREVER));
+        assert!(net.transfer(SiteId(0), SiteId(1), 10).is_ok());
+        assert_eq!(net.transfer(SiteId(0), SiteId(2), 10), Err(NetError::LinkFault));
+        net.clear_faults();
+        assert!(net.transfer(SiteId(0), SiteId(2), 10).is_ok());
+    }
+
+    #[test]
+    fn site_crash_updates_liveness() {
+        let net = Network::new(NetworkConfig::instant());
+        net.install_faults(FaultPlan::new(1).crash(SiteId(1), 0));
+        assert_eq!(net.transfer(SiteId(0), SiteId(1), 10), Err(NetError::SiteDead(SiteId(1))));
+        assert_eq!(net.liveness().state(SiteId(1)), SiteState::Dead);
+        assert!(net.liveness().down_sites().contains(&SiteId(1)));
+        net.clear_faults();
+        assert!(net.liveness().is_alive(SiteId(1)));
+    }
+
+    #[test]
+    fn scheduled_crash_applies_on_refresh_without_traffic() {
+        let net = Network::new(NetworkConfig::instant());
+        // Crash active from tick 0: install_faults' immediate refresh
+        // marks the site dead before any message flows.
+        net.install_faults(FaultPlan::new(1).crash(SiteId(3), 0));
+        assert_eq!(net.liveness().state(SiteId(3)), SiteState::Dead);
+    }
+
+    #[test]
+    fn cancellable_sleep_aborts() {
+        let cfg = NetworkConfig { latency: Duration::ZERO, bandwidth_bytes_per_sec: 1_000 };
+        let net = Network::new(cfg);
+        // 10 KB at 1 KB/s = 10 s uncancelled; the abort hook fires at once.
+        let fired = AtomicBool::new(true);
+        let abort = move || fired.load(Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        let r = net.transfer_cancellable(SiteId(0), SiteId(1), 10_000, Some(&abort));
+        assert_eq!(r, Err(NetError::Aborted));
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn latency_spike_multiplies_delay() {
+        let cfg = NetworkConfig { latency: Duration::from_millis(5), bandwidth_bytes_per_sec: u64::MAX };
+        let net = Network::new(cfg);
+        net.install_faults(FaultPlan::new(1).latency_spike(4, 0, TICK_FOREVER));
+        let start = std::time::Instant::now();
+        assert!(net.transfer(SiteId(0), SiteId(1), 10).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(20));
     }
 }

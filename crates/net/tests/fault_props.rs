@@ -1,0 +1,113 @@
+//! Property tests for the deterministic fault layer: any seeded
+//! [`FaultPlan`] must replay identically (same seed → same drop/crash
+//! sequence), and failover assignments must stay total whenever the
+//! backup count covers the dead-site count.
+
+use ic_net::{
+    FaultInjector, FaultPlan, Liveness, SiteId, Topology, TICK_FOREVER,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Drive an injector through a fixed serial probe sequence, returning the
+/// decision sequence plus the final liveness snapshot.
+fn replay(
+    plan: FaultPlan,
+    probes: &[(usize, usize)],
+) -> (Vec<String>, Vec<(SiteId, ic_net::SiteState)>) {
+    let injector = FaultInjector::new(plan);
+    let liveness = Liveness::default();
+    let decisions = probes
+        .iter()
+        .map(|&(s, d)| format!("{:?}", injector.decide(SiteId(s), SiteId(d), &liveness)))
+        .collect();
+    injector.refresh(&liveness);
+    (decisions, liveness.snapshot())
+}
+
+proptest! {
+    /// `FaultPlan::random` is a pure function of its inputs.
+    #[test]
+    fn random_plans_replay_identically(seed in any::<u64>(), sites in 1usize..9, horizon in 1u64..10_000) {
+        let a = FaultPlan::random(seed, sites, horizon);
+        let b = FaultPlan::random(seed, sites, horizon);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.timeline(), b.timeline());
+    }
+
+    /// Replaying any seeded plan over the same message sequence yields the
+    /// identical decision sequence and liveness outcome — the property
+    /// that makes chaos runs reproducible.
+    #[test]
+    fn decisions_replay_identically(
+        seed in any::<u64>(),
+        sites in 2usize..7,
+        horizon in 10u64..500,
+        probes in prop::collection::vec((0usize..7, 0usize..7), 1..200),
+    ) {
+        let probes: Vec<(usize, usize)> =
+            probes.into_iter().map(|(s, d)| (s % sites, d % sites)).collect();
+        let plan = FaultPlan::random(seed, sites, horizon);
+        let (d1, l1) = replay(plan.clone(), &probes);
+        let (d2, l2) = replay(plan, &probes);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(l1, l2);
+    }
+
+    /// Per-link drop decisions depend only on the per-link message number,
+    /// so interleaving traffic on *other* links never changes a link's
+    /// drop pattern.
+    #[test]
+    fn link_decisions_independent_of_other_links(
+        seed in any::<u64>(),
+        prob in 0.0f64..1.0,
+        noise in prop::collection::vec(0usize..2, 0..50),
+    ) {
+        let plan = FaultPlan::new(seed).drop_link(SiteId(0), SiteId(1), prob, 0, TICK_FOREVER);
+        let live = Liveness::default();
+        // Run 1: only the faulted link.
+        let inj = FaultInjector::new(plan.clone());
+        let bare: Vec<String> =
+            (0..20).map(|_| format!("{:?}", inj.decide(SiteId(0), SiteId(1), &live))).collect();
+        // Run 2: same link traffic interleaved with unrelated messages.
+        let inj = FaultInjector::new(plan);
+        let mut mixed = Vec::new();
+        for i in 0..20 {
+            for &n in noise.iter().skip(i % 3) {
+                // Unrelated links (2 -> 3 or 3 -> 2).
+                inj.decide(SiteId(2 + n), SiteId(3 - n), &live);
+            }
+            mixed.push(format!("{:?}", inj.decide(SiteId(0), SiteId(1), &live)));
+        }
+        // Delay factors are identical (no latency events), so the
+        // sequences must match exactly.
+        prop_assert_eq!(bare, mixed);
+    }
+
+    /// Whenever at most `backups` sites die, the failover assignment
+    /// exists, uses only live sites, and covers every partition.
+    #[test]
+    fn assignment_total_when_backups_cover_deaths(
+        sites in 2usize..9,
+        backups in 1usize..4,
+        dead_raw in prop::collection::hash_set(0usize..9, 0..4),
+    ) {
+        let backups = backups.min(sites - 1);
+        let topology = Topology::with_backups(sites, backups);
+        let dead: HashSet<SiteId> = dead_raw
+            .into_iter()
+            .map(|s| SiteId(s % sites))
+            .take(backups)
+            .collect();
+        let assignment = topology.assignment(&dead).unwrap();
+        for site in assignment.live_sites() {
+            prop_assert!(!dead.contains(site));
+        }
+        prop_assert!(!dead.contains(&assignment.coordinator()));
+        for p in 0..topology.num_partitions() {
+            let owner = assignment.owner_of_partition(p);
+            prop_assert!(!dead.contains(&owner));
+            prop_assert!(topology.owners_of_partition(p).contains(&owner));
+        }
+    }
+}

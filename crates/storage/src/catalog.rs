@@ -4,9 +4,9 @@ use crate::index::Index;
 use crate::stats::TableStats;
 use crate::table::TableData;
 use ic_common::{IcError, IcResult, Row, Schema};
-use ic_net::Topology;
+use ic_net::{SiteId, Topology};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -27,8 +27,9 @@ impl fmt::Display for TableId {
 /// How a table's rows are placed across sites — Ignite's cache modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableDistribution {
-    /// Hash-partitioned on the given key columns (partitioned cache mode,
-    /// zero backups — the paper's benchmark configuration).
+    /// Hash-partitioned on the given key columns (partitioned cache mode;
+    /// the topology's `backups` setting controls how many replica copies
+    /// each partition keeps on other sites — the paper benchmarks zero).
     HashPartitioned { key_cols: Vec<usize> },
     /// Full copy on every site (replicated cache mode).
     Replicated,
@@ -243,6 +244,18 @@ impl Catalog {
             _ => 1,
         }
     }
+
+    /// All sites holding a copy of `partition` (primary first, then the
+    /// topology's backup replicas) — Ignite's affinity function.
+    pub fn partition_owners(&self, partition: usize) -> Vec<SiteId> {
+        self.topology.owners_of_partition(partition)
+    }
+
+    /// Resolve `partition` to a live owner, skipping sites in `down`.
+    /// `None` when the primary and every backup copy are down.
+    pub fn live_owner(&self, partition: usize, down: &HashSet<SiteId>) -> Option<SiteId> {
+        self.partition_owners(partition).into_iter().find(|s| !down.contains(s))
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +330,18 @@ mod tests {
         let stats = cat.table_stats(id).unwrap();
         assert_eq!(stats.row_count, 100);
         assert_eq!(stats.columns[0].ndv, 100);
+    }
+
+    #[test]
+    fn live_owner_resolution_uses_backups() {
+        let cat = Catalog::new(Topology::with_backups(4, 1));
+        assert_eq!(cat.partition_owners(2), vec![SiteId(2), SiteId(3)]);
+        let none_down = HashSet::new();
+        assert_eq!(cat.live_owner(2, &none_down), Some(SiteId(2)));
+        let primary_down: HashSet<SiteId> = [SiteId(2)].into_iter().collect();
+        assert_eq!(cat.live_owner(2, &primary_down), Some(SiteId(3)));
+        let both_down: HashSet<SiteId> = [SiteId(2), SiteId(3)].into_iter().collect();
+        assert_eq!(cat.live_owner(2, &both_down), None);
     }
 
     #[test]

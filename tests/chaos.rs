@@ -1,0 +1,169 @@
+//! Chaos integration tests: TPC-H under deterministic fault injection.
+//!
+//! The acceptance bar for the failover subsystem: with `backups = 1` and a
+//! seeded fault plan that permanently kills one of 4 sites, every
+//! previously-passing TPC-H smoke query still returns correct results via
+//! retry + failover, and the same seed reproduces the identical fault
+//! schedule across runs.
+
+use ignite_calcite_rs::benchdata::tpch;
+use ignite_calcite_rs::{
+    Cluster, ClusterConfig, Datum, FaultPlan, IcError, Row, SiteId, SystemVariant,
+};
+use std::time::Duration;
+
+const SF: f64 = 0.002;
+
+fn chaos_cluster(backups: usize) -> Cluster {
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 4,
+        backups,
+        variant: SystemVariant::ICPlus,
+        network: ignite_calcite_rs::NetworkConfig::instant(),
+        exec_timeout: Some(Duration::from_secs(60)),
+        memory_limit_rows: 20_000_000,
+        ..ClusterConfig::default()
+    });
+    for ddl in tpch::DDL.iter().chain(tpch::INDEX_DDL) {
+        cluster.run(ddl).unwrap();
+    }
+    for t in tpch::generate(SF, 42) {
+        cluster.insert(t.name, t.rows).unwrap();
+    }
+    cluster.analyze_all().unwrap();
+    cluster
+}
+
+fn runnable_queries() -> Vec<usize> {
+    (1..=22).filter(|q| !tpch::EXCLUDED_UNSUPPORTED.contains(q)).collect()
+}
+
+/// Sort rows deterministically, then compare pairwise with a relative
+/// tolerance on doubles: a 3-survivor execution accumulates floating-point
+/// sums in a different order than the 4-site baseline.
+fn assert_rows_close(a: &[Row], b: &[Row], label: &str) {
+    fn key(r: &Row) -> String {
+        r.0.iter()
+            .map(|d| match d {
+                Datum::Double(f) => format!("{f:.6}"),
+                other => other.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+    assert_eq!(a.len(), b.len(), "{label}: row count");
+    let mut sa: Vec<&Row> = a.iter().collect();
+    let mut sb: Vec<&Row> = b.iter().collect();
+    sa.sort_by_key(|r| key(r));
+    sb.sort_by_key(|r| key(r));
+    for (ra, rb) in sa.iter().zip(&sb) {
+        assert_eq!(ra.arity(), rb.arity(), "{label}: arity");
+        for (da, db) in ra.0.iter().zip(&rb.0) {
+            match (da, db) {
+                (Datum::Double(x), Datum::Double(y)) => {
+                    let tol = 1e-6 * x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() <= tol, "{label}: {x} vs {y}\n{ra:?}\n{rb:?}");
+                }
+                _ => assert_eq!(da, db, "{label}:\n{ra:?}\n{rb:?}"),
+            }
+        }
+    }
+}
+
+/// With `backups = 1`, a 4-site cluster answers every runnable TPC-H
+/// query with one site marked dead, and the answers match the healthy
+/// baseline.
+#[test]
+fn all_queries_survive_dead_site_with_backups() {
+    let cluster = chaos_cluster(1);
+    let mut baselines = Vec::new();
+    for q in runnable_queries() {
+        let r = cluster
+            .query(&tpch::query(q))
+            .unwrap_or_else(|e| panic!("healthy baseline Q{q}: {e}"));
+        baselines.push((q, r.rows));
+    }
+    cluster.kill_site(2);
+    for (q, baseline_rows) in &baselines {
+        let r = cluster
+            .query(&tpch::query(*q))
+            .unwrap_or_else(|e| panic!("Q{q} with site2 dead: {e}"));
+        assert_rows_close(baseline_rows, &r.rows, &format!("Q{q} failover"));
+    }
+}
+
+/// A seeded fault plan that permanently kills site 3 mid-run: the
+/// in-flight query recovers via retry + replan, every query matches the
+/// healthy baseline, and the identical seed produces the identical fault
+/// schedule and results on a second, independent run.
+#[test]
+fn seeded_mid_run_crash_recovers_and_replays() {
+    const SEED: u64 = 4242;
+    // Crash from tick 1: site 3 is alive at planning time, so the first
+    // query's exchanges are guaranteed to hit the dead site mid-run.
+    let plan = || FaultPlan::new(SEED).crash(SiteId(3), 1);
+    assert_eq!(plan(), plan(), "same seed must build the same plan");
+    assert_eq!(plan().timeline(), plan().timeline());
+
+    let healthy = chaos_cluster(1);
+    let queries = runnable_queries();
+    let mut baselines = Vec::new();
+    for q in &queries {
+        baselines.push(healthy.query(&tpch::query(*q)).unwrap().rows);
+    }
+
+    let mut runs: Vec<(Vec<Vec<Row>>, u32, Vec<(SiteId, ignite_calcite_rs::SiteState)>)> =
+        Vec::new();
+    for _ in 0..2 {
+        let cluster = chaos_cluster(1);
+        cluster.install_faults(plan());
+        let mut rows_per_query = Vec::new();
+        let mut total_retries = 0;
+        for q in &queries {
+            let r = cluster
+                .query(&tpch::query(*q))
+                .unwrap_or_else(|e| panic!("Q{q} under seeded crash: {e}"));
+            total_retries += r.retries;
+            rows_per_query.push(r.rows);
+        }
+        runs.push((rows_per_query, total_retries, cluster.network().liveness().snapshot()));
+    }
+
+    for (rows_per_query, total_retries, liveness) in &runs {
+        // The first query runs into the crash and must have failed over.
+        assert!(*total_retries >= 1, "expected at least one failover retry");
+        // Site 3 ends the run permanently dead.
+        assert!(
+            liveness
+                .iter()
+                .any(|(s, st)| *s == SiteId(3) && *st == ignite_calcite_rs::SiteState::Dead),
+            "site3 should be dead: {liveness:?}"
+        );
+        for ((q, rows), baseline) in queries.iter().zip(rows_per_query).zip(&baselines) {
+            assert_rows_close(baseline, rows, &format!("Q{q} under seeded crash"));
+        }
+    }
+    // Replay: the two identically-seeded runs agree exactly.
+    assert_eq!(runs[0].1, runs[1].1, "retry counts diverged between replays");
+    assert_eq!(runs[0].2, runs[1].2, "liveness diverged between replays");
+    for ((q, a), b) in queries.iter().zip(&runs[0].0).zip(&runs[1].0) {
+        assert_rows_close(a, b, &format!("Q{q} replay"));
+    }
+}
+
+/// Without backups, a dead site's partitions are lost: the failover loop
+/// retries, then surfaces the whole failure chain.
+#[test]
+fn no_backups_exhausts_retries() {
+    let cluster = chaos_cluster(0);
+    cluster.kill_site(1);
+    let err = cluster.query(&tpch::query(6)).unwrap_err();
+    match err {
+        IcError::RetriesExhausted { attempts, chain } => {
+            assert!(attempts >= 1);
+            assert_eq!(chain.len() as u32, attempts);
+            assert!(chain.iter().all(|c| c.contains("unavailable")), "{chain:?}");
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}

@@ -13,6 +13,7 @@ fn star_cluster(variant: SystemVariant) -> Cluster {
         exec_timeout: Some(Duration::from_secs(20)),
         planner_budget: None,
         memory_limit_rows: 20_000_000,
+        ..ClusterConfig::default()
     });
     c.run("CREATE TABLE fact (f_id BIGINT, f_dim BIGINT, f_other BIGINT, f_val DOUBLE, PRIMARY KEY (f_id))")
         .unwrap();
@@ -109,6 +110,7 @@ fn planner_budget_failure_baseline_only() {
             exec_timeout: Some(Duration::from_secs(20)),
             planner_budget: Some(800),
             memory_limit_rows: 20_000_000,
+            ..ClusterConfig::default()
         });
         c.run("CREATE TABLE t0 (a BIGINT, b BIGINT, PRIMARY KEY (a))").unwrap();
         for i in 1..8 {

@@ -15,6 +15,7 @@ fn cluster(variant: SystemVariant) -> Cluster {
         exec_timeout: Some(Duration::from_secs(60)),
         planner_budget: None,
         memory_limit_rows: 20_000_000,
+        ..ClusterConfig::default()
     });
     for ddl in ssb::DDL.iter().chain(ssb::INDEX_DDL) {
         c.run(ddl).unwrap();

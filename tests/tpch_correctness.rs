@@ -16,6 +16,7 @@ fn clusters() -> (Cluster, Cluster, Cluster) {
         exec_timeout: Some(Duration::from_secs(60)),
         planner_budget: None,
         memory_limit_rows: 20_000_000,
+        ..ClusterConfig::default()
     });
     for ddl in tpch::DDL.iter().chain(tpch::INDEX_DDL) {
         base.run(ddl).unwrap();

@@ -24,6 +24,7 @@ fn fixture() -> &'static Fixture {
             exec_timeout: Some(Duration::from_secs(30)),
             planner_budget: None,
         memory_limit_rows: 20_000_000,
+            ..ClusterConfig::default()
         });
         ic.run("CREATE TABLE a (a1 BIGINT, a2 BIGINT, a3 DOUBLE, PRIMARY KEY (a1))").unwrap();
         ic.run("CREATE TABLE b (b1 BIGINT, b2 BIGINT, b3 VARCHAR, PRIMARY KEY (b1))").unwrap();
