@@ -55,7 +55,7 @@ fn main() {
     // reproducibility contract — rerunning with the same seed replays it.
     let plan = FaultPlan::random(seed, sites, horizon);
     println!("-- fault schedule (logical ticks = cross-site messages) --");
-    for line in plan.timeline() {
+    for line in plan.timeline().lines() {
         println!("  {line}");
     }
     cluster.install_faults(plan);

@@ -7,7 +7,7 @@
 
 use crate::datum::Datum;
 use crate::error::{IcError, IcResult};
-use std::collections::HashSet;
+use crate::hash::FxHashSet;
 use std::fmt;
 
 /// Aggregate function kinds supported by the SQL frontend.
@@ -55,7 +55,7 @@ pub enum Accumulator {
     Avg { sum: f64, count: i64 },
     Min(Option<Datum>),
     Max(Option<Datum>),
-    Distinct(HashSet<Datum>),
+    Distinct(FxHashSet<Datum>),
 }
 
 impl Accumulator {
@@ -67,12 +67,13 @@ impl Accumulator {
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
             AggFunc::Min => Accumulator::Min(None),
             AggFunc::Max => Accumulator::Max(None),
-            AggFunc::CountDistinct => Accumulator::Distinct(HashSet::new()),
+            AggFunc::CountDistinct => Accumulator::Distinct(FxHashSet::default()),
         }
     }
 
     /// Feed one input value. `count_star` accumulators receive a non-null
     /// placeholder from the executor.
+    #[inline]
     pub fn update(&mut self, value: Datum) -> IcResult<()> {
         match self {
             Accumulator::Count(c) => {
@@ -108,7 +109,7 @@ impl Accumulator {
             },
             Accumulator::Min(best) => {
                 if !value.is_null()
-                    && best.as_ref().map_or(true, |b| value.sql_cmp(b) == Some(std::cmp::Ordering::Less))
+                    && best.as_ref().is_none_or(|b| value.sql_cmp(b) == Some(std::cmp::Ordering::Less))
                 {
                     *best = Some(value);
                 }
@@ -117,7 +118,7 @@ impl Accumulator {
                 if !value.is_null()
                     && best
                         .as_ref()
-                        .map_or(true, |b| value.sql_cmp(b) == Some(std::cmp::Ordering::Greater))
+                        .is_none_or(|b| value.sql_cmp(b) == Some(std::cmp::Ordering::Greater))
                 {
                     *best = Some(value);
                 }
@@ -150,7 +151,7 @@ impl Accumulator {
             }
             (Accumulator::Min(a), Accumulator::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv.sql_cmp(av) == Some(std::cmp::Ordering::Less)) {
+                    if a.as_ref().is_none_or(|av| bv.sql_cmp(av) == Some(std::cmp::Ordering::Less)) {
                         *a = Some(bv);
                     }
                 }
@@ -159,7 +160,7 @@ impl Accumulator {
                 if let Some(bv) = b {
                     if a
                         .as_ref()
-                        .map_or(true, |av| bv.sql_cmp(av) == Some(std::cmp::Ordering::Greater))
+                        .is_none_or(|av| bv.sql_cmp(av) == Some(std::cmp::Ordering::Greater))
                     {
                         *a = Some(bv);
                     }

@@ -14,11 +14,13 @@ pub mod datum;
 pub mod dates;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod row;
 pub mod schema;
 
 pub use datum::{DataType, Datum};
 pub use error::{IcError, IcResult};
 pub use expr::{BinOp, Expr, FuncKind};
+pub use hash::{FlatMap, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use row::{Batch, Row};
 pub use schema::{Field, Schema};

@@ -43,9 +43,14 @@ impl Row {
 
     /// Stable hash of a key projection, used for hash partitioning and hash
     /// joins. Must agree between the build and probe side and between the
-    /// planner's hash-distribution routing and the executor.
+    /// planner's hash-distribution routing and the executor — all three go
+    /// through this one function, and [`crate::hash::FxHasher`] is
+    /// deterministic, so swapping the hasher stays coherent across layers.
+    /// `Datum`'s `Hash` impl canonicalizes equal numerics (Int 7, Double
+    /// 7.0, dates) to the same bits, which this inherits.
+    #[inline]
     pub fn hash_key(&self, cols: &[usize]) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::hash::FxHasher::default();
         for &c in cols {
             self.0[c].hash(&mut h);
         }

@@ -9,6 +9,7 @@
 //! (Algorithm 3, §5.3).
 
 pub mod fragment;
+pub mod kernels;
 pub mod operators;
 pub mod runtime;
 pub mod variant;

@@ -1,11 +1,13 @@
 //! Physical operator implementations: pull-based batch iterators
 //! (Volcano-style execution, batched to amortize channel overhead).
 
+use crate::kernels::{GroupTable, JoinHashTable};
 use ic_common::agg::Accumulator;
 use ic_common::row::BATCH_SIZE;
 use ic_common::{Batch, Datum, Expr, IcError, IcResult, Row};
 use ic_plan::ops::{AggCall, AggPhase, JoinKind, SortKey};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -192,6 +194,11 @@ impl RowSource for ScanSource {
 pub struct MergingIndexScan {
     runs: Vec<(Arc<Vec<Row>>, usize)>,
     key_cols: Vec<usize>,
+    /// Min-heap over (projected key of each run's current row, run index).
+    /// The run-index tie-break reproduces the previous linear scan's
+    /// "earliest run wins on equal keys" order; popping and re-pushing one
+    /// entry is O(log runs) instead of O(runs) key projections per row.
+    heap: BinaryHeap<Reverse<(Row, usize)>>,
     split: Option<(usize, usize)>,
     counter: usize,
     ctrl: Arc<ControlBlock>,
@@ -204,33 +211,25 @@ impl MergingIndexScan {
         split: Option<(usize, usize)>,
         ctrl: Arc<ControlBlock>,
     ) -> MergingIndexScan {
-        MergingIndexScan {
-            runs: runs.into_iter().map(|r| (r, 0)).collect(),
-            key_cols,
-            split,
-            counter: 0,
-            ctrl,
+        let runs: Vec<(Arc<Vec<Row>>, usize)> =
+            runs.into_iter().map(|r| (r, 0)).collect();
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (i, (run, _)) in runs.iter().enumerate() {
+            if let Some(row) = run.first() {
+                heap.push(Reverse((row.project(&key_cols), i)));
+            }
         }
+        MergingIndexScan { runs, key_cols, heap, split, counter: 0, ctrl }
     }
 
     fn pop_min(&mut self) -> Option<Row> {
-        let mut best: Option<(usize, &Row)> = None;
-        for (i, (run, pos)) in self.runs.iter().enumerate() {
-            if let Some(row) = run.get(*pos) {
-                let better = match &best {
-                    None => true,
-                    Some((_, b)) => {
-                        row.project(&self.key_cols) < b.project(&self.key_cols)
-                    }
-                };
-                if better {
-                    best = Some((i, row));
-                }
-            }
+        let Reverse((_, i)) = self.heap.pop()?;
+        let (run, pos) = &mut self.runs[i];
+        let row = run[*pos].clone();
+        *pos += 1;
+        if let Some(next) = run.get(*pos) {
+            self.heap.push(Reverse((next.project(&self.key_cols), i)));
         }
-        let (i, _) = best?;
-        let row = self.runs[i].0[self.runs[i].1].clone();
-        self.runs[i].1 += 1;
         Some(row)
     }
 }
@@ -265,19 +264,29 @@ pub struct FilterExec {
     pub ctrl: Arc<ControlBlock>,
 }
 
+impl FilterExec {
+    pub fn new(input: BoxedSource, predicate: Expr, ctrl: Arc<ControlBlock>) -> FilterExec {
+        FilterExec { input, predicate, ctrl }
+    }
+}
+
 impl RowSource for FilterExec {
     fn next_batch(&mut self) -> IcResult<Option<Batch>> {
         loop {
             self.ctrl.check()?;
-            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
-            let mut out = Batch::with_capacity(batch.len());
-            for row in batch {
-                if self.predicate.eval_filter(&row)? {
-                    out.push(row);
+            let Some(mut batch) = self.input.next_batch()? else { return Ok(None) };
+            // Compact passing rows to the front in place: no output
+            // allocation, surviving rows keep their order.
+            let mut keep = 0;
+            for i in 0..batch.len() {
+                if self.predicate.eval_filter(&batch[i])? {
+                    batch.swap(keep, i);
+                    keep += 1;
                 }
             }
-            if !out.is_empty() {
-                return Ok(Some(out));
+            batch.truncate(keep);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
     }
@@ -287,18 +296,40 @@ pub struct ProjectExec {
     pub input: BoxedSource,
     pub exprs: Vec<Expr>,
     pub ctrl: Arc<ControlBlock>,
+    /// When every expression is a bare column reference, the column indices
+    /// — projection is then a datum move/clone with no evaluator dispatch.
+    cols: Option<Vec<usize>>,
+}
+
+impl ProjectExec {
+    pub fn new(input: BoxedSource, exprs: Vec<Expr>, ctrl: Arc<ControlBlock>) -> ProjectExec {
+        let cols = exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Col(c) => Some(*c),
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>();
+        ProjectExec { input, exprs, ctrl, cols }
+    }
 }
 
 impl RowSource for ProjectExec {
     fn next_batch(&mut self) -> IcResult<Option<Batch>> {
         self.ctrl.check()?;
-        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
-        let mut out = Batch::with_capacity(batch.len());
-        for row in batch {
-            let vals: Vec<Datum> = self.exprs.iter().map(|e| e.eval(&row)).collect::<IcResult<_>>()?;
-            out.push(Row(vals));
+        let Some(mut batch) = self.input.next_batch()? else { return Ok(None) };
+        if let Some(cols) = &self.cols {
+            for row in &mut batch {
+                row.0 = cols.iter().map(|&c| row.0[c].clone()).collect();
+            }
+            return Ok(Some(batch));
         }
-        Ok(Some(out))
+        for row in &mut batch {
+            let vals: Vec<Datum> =
+                self.exprs.iter().map(|e| e.eval(row)).collect::<IcResult<_>>()?;
+            row.0 = vals;
+        }
+        Ok(Some(batch))
     }
 }
 
@@ -473,6 +504,13 @@ impl RowSource for NestedLoopJoinExec {
 }
 
 /// Hash join (§5.1.2): builds on the right input, probes with the left.
+///
+/// The build side goes into a [`JoinHashTable`]: an open-addressing map
+/// from precomputed key hashes to chains of arena row indices. Neither side
+/// materializes per-row `Vec<Datum>` keys — build rows move into the arena
+/// whole, probes hash key columns in place and walk the chain in build
+/// order, so output order is identical to the former
+/// `HashMap<Vec<Datum>, Vec<Row>>` implementation.
 pub struct HashJoinExec {
     pub left: BoxedSource,
     pub right: BoxedSource,
@@ -481,7 +519,7 @@ pub struct HashJoinExec {
     pub right_keys: Vec<usize>,
     pub residual: Expr,
     pub right_arity: usize,
-    table: Option<HashMap<Vec<Datum>, Vec<Row>>>,
+    table: Option<JoinHashTable>,
     /// Probe batch being processed and the next row within it, so that
     /// high-fan-out probes resume across bounded output batches.
     current: Option<Batch>,
@@ -520,18 +558,17 @@ impl HashJoinExec {
 impl RowSource for HashJoinExec {
     fn next_batch(&mut self) -> IcResult<Option<Batch>> {
         if self.table.is_none() {
-            // Build phase.
-            let mut table: HashMap<Vec<Datum>, Vec<Row>> = HashMap::new();
+            // Build phase: rows move into the table's arena unchanged; rows
+            // with NULL key columns are skipped (they never match).
+            let mut table = JoinHashTable::new(self.right_keys.clone());
             while let Some(b) = self.right.next_batch()? {
                 self.ctrl.check()?;
                 self.ctrl.reserve_batch(&b)?;
                 for row in b {
-                    let key: Vec<Datum> =
-                        self.right_keys.iter().map(|&c| row.0[c].clone()).collect();
-                    if key.iter().any(Datum::is_null) {
-                        continue; // NULL keys never match
+                    if self.right_keys.iter().any(|&c| row.0[c].is_null()) {
+                        continue;
                     }
-                    table.entry(key).or_default().push(row);
+                    table.insert(row);
                 }
             }
             self.table = Some(table);
@@ -543,7 +580,6 @@ impl RowSource for HashJoinExec {
             Some(self.residual.clone())
         };
         let mut out = Batch::new();
-        static EMPTY: Vec<Row> = Vec::new();
         loop {
             self.ctrl.check()?;
             if self.current.is_none() {
@@ -559,17 +595,10 @@ impl RowSource for HashJoinExec {
             while self.li < batch.len() {
                 let left_row = &batch[self.li];
                 self.li += 1;
-                let key: Vec<Datum> =
-                    self.left_keys.iter().map(|&c| left_row.0[c].clone()).collect();
-                let candidates = if key.iter().any(Datum::is_null) {
-                    &EMPTY
-                } else {
-                    table.get(&key).unwrap_or(&EMPTY)
-                };
                 emit_matches(
                     self.kind,
                     left_row,
-                    &mut candidates.iter(),
+                    &mut table.probe(left_row, &self.left_keys),
                     residual.as_ref(),
                     self.right_arity,
                     &mut out,
@@ -695,6 +724,14 @@ impl RowSource for MergeJoinExec {
 // ------------------------------------------------------------- aggregates
 
 /// Hash aggregate in any phase (§3.2's map-reduce split).
+///
+/// Groups live in a [`GroupTable`]: key datums are cloned exactly once (at
+/// first sight of each group) into a flat key array, accumulators sit in a
+/// parallel flat array indexed by group slot, and input rows update them
+/// through an in-place key hash — no per-row `Vec<Datum>` materialization.
+/// Output is emitted lazily in batch-sized chunks, one per `next_batch`
+/// call, so buffered state stays at the (already reserved) group table
+/// instead of doubling into an output queue.
 pub struct HashAggExec {
     pub input: BoxedSource,
     pub group: Vec<usize>,
@@ -702,7 +739,8 @@ pub struct HashAggExec {
     pub phase: AggPhase,
     pub ctrl: Arc<ControlBlock>,
     done: bool,
-    output: std::collections::VecDeque<Batch>,
+    groups: Option<GroupTable>,
+    emit_pos: usize,
 }
 
 impl HashAggExec {
@@ -713,79 +751,36 @@ impl HashAggExec {
         phase: AggPhase,
         ctrl: Arc<ControlBlock>,
     ) -> Self {
-        HashAggExec { input, group, aggs, phase, ctrl, done: false, output: Default::default() }
+        HashAggExec { input, group, aggs, phase, ctrl, done: false, groups: None, emit_pos: 0 }
     }
 
     fn update_group(&self, accs: &mut [Accumulator], row: &Row) -> IcResult<()> {
-        match self.phase {
-            AggPhase::Complete | AggPhase::Partial => {
-                for (acc, call) in accs.iter_mut().zip(&self.aggs) {
-                    let v = match &call.arg {
-                        Some(e) => e.eval(row)?,
-                        None => Datum::Int(1), // COUNT(*)
-                    };
-                    acc.update(v)?;
-                }
-            }
-            AggPhase::Final => {
-                // Row layout: group keys then accumulator states.
-                let mut pos = self.group.len();
-                for (acc, call) in accs.iter_mut().zip(&self.aggs) {
-                    let w = Accumulator::state_width(call.func);
-                    let state = &row.0[pos..pos + w];
-                    acc.merge(Accumulator::from_state(call.func, state)?)?;
-                    pos += w;
-                }
-            }
-        }
-        Ok(())
+        apply_row(self.phase, &self.group, &self.aggs, accs, row)
     }
 
     fn finish_group(&self, key: Vec<Datum>, accs: &[Accumulator], out: &mut Batch) {
-        let mut vals = key;
-        match self.phase {
-            AggPhase::Complete | AggPhase::Final => {
-                vals.extend(accs.iter().map(Accumulator::finish));
-            }
-            AggPhase::Partial => {
-                for acc in accs {
-                    vals.extend(acc.to_state());
-                }
-            }
-        }
-        out.push(Row(vals));
+        finish_group_row(self.phase, key, accs, out)
     }
 
-    fn run(&mut self) -> IcResult<()> {
-        let mut groups: HashMap<Vec<Datum>, Vec<Accumulator>> = HashMap::new();
-        let fresh = |aggs: &[AggCall]| -> Vec<Accumulator> {
-            aggs.iter().map(|a| Accumulator::new(a.func)).collect()
-        };
+    fn build(&mut self) -> IcResult<()> {
+        let mut groups = GroupTable::new(self.group.clone(), self.aggs.len());
+        // update_group borrows self immutably, so split the phase-specific
+        // row application out of the &mut loop below.
         while let Some(batch) = self.input.next_batch()? {
             self.ctrl.check()?;
             let before = groups.len();
-            for row in batch {
-                let key: Vec<Datum> = self.group.iter().map(|&c| row.0[c].clone()).collect();
-                let accs = groups.entry(key).or_insert_with(|| fresh(&self.aggs));
-                self.update_group(accs, &row)?;
+            for row in &batch {
+                let slot = groups.lookup_or_insert(row, &self.aggs);
+                apply_row(self.phase, &self.group, &self.aggs, groups.accs_mut(slot), row)?;
             }
             let width = self.group.len() + self.aggs.len() * 2 + 1;
             self.ctrl.reserve((groups.len() - before) * width)?;
         }
         // Scalar aggregates emit one row even on empty input.
-        if self.group.is_empty() && groups.is_empty() {
-            groups.insert(vec![], fresh(&self.aggs));
+        if self.group.is_empty() {
+            groups.ensure_scalar_group(&self.aggs);
         }
-        let mut out = Batch::new();
-        for (key, accs) in groups {
-            self.finish_group(key, &accs, &mut out);
-            if out.len() >= BATCH_SIZE {
-                self.output.push_back(std::mem::take(&mut out));
-            }
-        }
-        if !out.is_empty() {
-            self.output.push_back(out);
-        }
+        self.groups = Some(groups);
         Ok(())
     }
 }
@@ -793,11 +788,73 @@ impl HashAggExec {
 impl RowSource for HashAggExec {
     fn next_batch(&mut self) -> IcResult<Option<Batch>> {
         if !self.done {
-            self.run()?;
+            self.build()?;
             self.done = true;
         }
-        Ok(self.output.pop_front())
+        self.ctrl.check()?;
+        let groups = self.groups.as_mut().unwrap();
+        if self.emit_pos >= groups.len() {
+            return Ok(None);
+        }
+        let end = (self.emit_pos + BATCH_SIZE).min(groups.len());
+        let mut out = Batch::with_capacity(end - self.emit_pos);
+        for slot in self.emit_pos..end {
+            let (key, accs) = groups.take_group(slot);
+            finish_group_row(self.phase, key, accs, &mut out);
+        }
+        self.emit_pos = end;
+        Ok(Some(out))
     }
+}
+
+/// Apply one input row to a group's accumulators (phase-dependent).
+fn apply_row(
+    phase: AggPhase,
+    group: &[usize],
+    aggs: &[AggCall],
+    accs: &mut [Accumulator],
+    row: &Row,
+) -> IcResult<()> {
+    match phase {
+        AggPhase::Complete | AggPhase::Partial => {
+            for (acc, call) in accs.iter_mut().zip(aggs) {
+                let v = match &call.arg {
+                    // Plain column refs skip the expression walk.
+                    Some(Expr::Col(c)) => row.0[*c].clone(),
+                    Some(e) => e.eval(row)?,
+                    None => Datum::Int(1), // COUNT(*)
+                };
+                acc.update(v)?;
+            }
+        }
+        AggPhase::Final => {
+            // Row layout: group keys then accumulator states.
+            let mut pos = group.len();
+            for (acc, call) in accs.iter_mut().zip(aggs) {
+                let w = Accumulator::state_width(call.func);
+                let state = &row.0[pos..pos + w];
+                acc.merge(Accumulator::from_state(call.func, state)?)?;
+                pos += w;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emit one finished group as an output row (phase-dependent shape).
+fn finish_group_row(phase: AggPhase, key: Vec<Datum>, accs: &[Accumulator], out: &mut Batch) {
+    let mut vals = key;
+    match phase {
+        AggPhase::Complete | AggPhase::Final => {
+            vals.extend(accs.iter().map(Accumulator::finish));
+        }
+        AggPhase::Partial => {
+            for acc in accs {
+                vals.extend(acc.to_state());
+            }
+        }
+    }
+    out.push(Row(vals));
 }
 
 /// Streaming aggregate over input sorted on the group keys (the paper's
@@ -904,19 +961,35 @@ impl RowSource for SortExec {
                 self.ctrl.reserve_batch(&b)?;
                 rows.extend(b);
             }
-            let keys = self.keys.clone();
-            rows.sort_by(|a, b| {
-                for k in &keys {
-                    let ord = a.0[k.col].cmp(&b.0[k.col]);
+            // Decorate–sort–undecorate: extract the key datums once into a
+            // flat buffer, sort an index array over it (no comparator
+            // closure touching full rows), then move rows out in key order.
+            // The original-index tie-break makes the unstable sort produce
+            // exactly the stable order the previous `sort_by` did.
+            let keys = &self.keys;
+            let klen = keys.len();
+            let mut keybuf: Vec<Datum> = Vec::with_capacity(rows.len() * klen);
+            for row in &rows {
+                keybuf.extend(keys.iter().map(|k| row.0[k.col].clone()));
+            }
+            let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                for (i, k) in keys.iter().enumerate() {
+                    let ord = keybuf[a * klen + i].cmp(&keybuf[b * klen + i]);
                     let ord = if k.desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }
                 }
-                std::cmp::Ordering::Equal
+                a.cmp(&b)
             });
-            for chunk in rows.chunks(BATCH_SIZE) {
-                self.output.push_back(chunk.to_vec());
+            for chunk in order.chunks(BATCH_SIZE) {
+                let batch: Batch = chunk
+                    .iter()
+                    .map(|&i| std::mem::take(&mut rows[i as usize]))
+                    .collect();
+                self.output.push_back(batch);
             }
             self.done = true;
         }
@@ -990,17 +1063,24 @@ mod tests {
 
     #[test]
     fn filter_and_project() {
-        let f = FilterExec {
-            input: src(&[&[1, 10], &[2, 20], &[3, 30]]),
-            predicate: Expr::binary(ic_common::BinOp::Gt, Expr::col(0), Expr::lit(1i64)),
-            ctrl: ctrl(),
-        };
-        let p = ProjectExec {
-            input: Box::new(f),
-            exprs: vec![Expr::col(1)],
-            ctrl: ctrl(),
-        };
+        let f = FilterExec::new(
+            src(&[&[1, 10], &[2, 20], &[3, 30]]),
+            Expr::binary(ic_common::BinOp::Gt, Expr::col(0), Expr::lit(1i64)),
+            ctrl(),
+        );
+        // Bare-column projection exercises the fast path.
+        let p = ProjectExec::new(Box::new(f), vec![Expr::col(1)], ctrl());
         assert_eq!(drain(Box::new(p)).unwrap(), rows(&[&[20], &[30]]));
+    }
+
+    #[test]
+    fn project_expression_path() {
+        let p = ProjectExec::new(
+            src(&[&[1, 10], &[2, 20]]),
+            vec![Expr::binary(ic_common::BinOp::Add, Expr::col(0), Expr::col(1))],
+            ctrl(),
+        );
+        assert_eq!(drain(Box::new(p)).unwrap(), rows(&[&[11], &[22]]));
     }
 
     #[test]

@@ -181,6 +181,10 @@ struct ExchangeSender {
     endpoints: Vec<(SiteId, usize, NetSender<Msg>)>,
     mode: SourceMode,
     rr: usize,
+    /// Persistent per-site staging for hash distribution: a handful of
+    /// (site, rows) slots scanned linearly, instead of building a fresh
+    /// `HashMap<SiteId, Batch>` per batch.
+    hash_slots: Vec<(SiteId, Batch)>,
 }
 
 impl ExchangeSender {
@@ -222,7 +226,7 @@ impl ExchangeSender {
         if batch.is_empty() {
             return Ok(());
         }
-        match self.to.clone() {
+        match &self.to {
             Distribution::Single => {
                 let site = self.endpoints[0].0;
                 self.ship_to_site(site, batch)
@@ -240,12 +244,19 @@ impl ExchangeSender {
                 Ok(())
             }
             Distribution::Hash(keys) => {
-                let mut per_site: HashMap<SiteId, Batch> = HashMap::new();
                 for row in batch {
-                    let site = self.assignment.site_for_hash(row.hash_key(&keys));
-                    per_site.entry(site).or_default().push(row);
+                    let site = self.assignment.site_for_hash(row.hash_key(keys));
+                    match self.hash_slots.iter_mut().find(|(s, _)| *s == site) {
+                        Some((_, rows)) => rows.push(row),
+                        None => self.hash_slots.push((site, vec![row])),
+                    }
                 }
-                for (site, rows) in per_site {
+                for i in 0..self.hash_slots.len() {
+                    if self.hash_slots[i].1.is_empty() {
+                        continue;
+                    }
+                    let site = self.hash_slots[i].0;
+                    let rows = std::mem::take(&mut self.hash_slots[i].1);
                     self.ship_to_site(site, rows)?;
                 }
                 Ok(())
@@ -370,16 +381,16 @@ impl BuildCtx<'_> {
                 ))
             }
             PhysOp::Values { rows, .. } => Box::new(VecSource::new(rows.clone())),
-            PhysOp::Filter { input, predicate } => Box::new(FilterExec {
-                input: self.build(input)?,
-                predicate: predicate.clone(),
-                ctrl: self.ctrl.clone(),
-            }),
-            PhysOp::Project { input, exprs, .. } => Box::new(ProjectExec {
-                input: self.build(input)?,
-                exprs: exprs.clone(),
-                ctrl: self.ctrl.clone(),
-            }),
+            PhysOp::Filter { input, predicate } => Box::new(FilterExec::new(
+                self.build(input)?,
+                predicate.clone(),
+                self.ctrl.clone(),
+            )),
+            PhysOp::Project { input, exprs, .. } => Box::new(ProjectExec::new(
+                self.build(input)?,
+                exprs.clone(),
+                self.ctrl.clone(),
+            )),
             PhysOp::NestedLoopJoin { left, right, kind, on } => {
                 let right_arity = right.schema.arity();
                 Box::new(NestedLoopJoinExec::new(
@@ -565,6 +576,7 @@ pub fn execute_plan(
                     endpoints,
                     mode: consumer_mode,
                     rr: 0,
+                    hash_slots: Vec::new(),
                 };
                 let root = fragment.root.clone();
                 let catalog = catalog.clone();

@@ -371,25 +371,27 @@ impl FaultInjector {
                         liveness.revive_if_suspect(*site);
                     }
                 }
-                FaultKind::Partition { group } if active => {
-                    if group.contains(&src) != group.contains(&dst) && verdict.is_none() {
-                        verdict = Some(FaultDecision::Drop);
-                    }
+                FaultKind::Partition { group }
+                    if active
+                        && group.contains(&src) != group.contains(&dst)
+                        && verdict.is_none() =>
+                {
+                    verdict = Some(FaultDecision::Drop);
                 }
-                FaultKind::LinkDrop { src: s, dst: d, prob } if active => {
-                    if *s == src && *d == dst {
-                        let n = {
-                            let mut seq = self.link_seq.lock();
-                            let e = seq.entry((src, dst)).or_insert(0);
-                            let n = *e;
-                            *e += 1;
-                            n
-                        };
-                        if link_drop_decision(self.plan.seed, src, dst, n, *prob)
-                            && verdict.is_none()
-                        {
-                            verdict = Some(FaultDecision::Drop);
-                        }
+                FaultKind::LinkDrop { src: s, dst: d, prob }
+                    if active && *s == src && *d == dst =>
+                {
+                    let n = {
+                        let mut seq = self.link_seq.lock();
+                        let e = seq.entry((src, dst)).or_insert(0);
+                        let n = *e;
+                        *e += 1;
+                        n
+                    };
+                    if link_drop_decision(self.plan.seed, src, dst, n, *prob)
+                        && verdict.is_none()
+                    {
+                        verdict = Some(FaultDecision::Drop);
                     }
                 }
                 FaultKind::LatencySpike { factor: f } if active => {

@@ -26,7 +26,7 @@ pub use fault::{
     SiteState, SplitMix64, TICK_FOREVER,
 };
 pub use topology::{Assignment, FailoverError, SiteId, Topology};
-pub use wire::WireSize;
+pub use wire::{BatchEncoder, WireSize};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -28,6 +28,15 @@ impl<T: WireSize> WireSize for Vec<T> {
 /// that stand in for Ignite's binary marshaller.
 pub fn encode_batch(batch: &Batch) -> Bytes {
     let mut buf = BytesMut::with_capacity(batch.wire_size());
+    encode_batch_into(batch, &mut buf);
+    buf.freeze()
+}
+
+/// [`encode_batch`], but appending into a caller-owned buffer so repeated
+/// encoders (one per exchange sender) reuse one allocation across batches:
+/// `clear()` between batches keeps the capacity. See [`BatchEncoder`].
+pub fn encode_batch_into(batch: &Batch, buf: &mut BytesMut) {
+    buf.reserve(batch.wire_size());
     buf.put_u32_le(batch.len() as u32);
     for row in batch {
         buf.put_u32_le(row.arity() as u32);
@@ -58,7 +67,28 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
             }
         }
     }
-    buf.freeze()
+}
+
+/// Reusable batch encoder: one growable buffer, cleared (capacity kept)
+/// before each encode, so per-batch encoding on an exchange's hot path
+/// allocates only when a batch outgrows every previous one.
+#[derive(Debug, Default)]
+pub struct BatchEncoder {
+    buf: BytesMut,
+}
+
+impl BatchEncoder {
+    pub fn new() -> BatchEncoder {
+        BatchEncoder::default()
+    }
+
+    /// Encode `batch`, returning the encoded bytes. The slice borrows the
+    /// internal buffer and is valid until the next call.
+    pub fn encode<'a>(&'a mut self, batch: &Batch) -> &'a [u8] {
+        self.buf.clear();
+        encode_batch_into(batch, &mut self.buf);
+        &self.buf
+    }
 }
 
 /// Decode a batch previously produced by [`encode_batch`].
@@ -115,6 +145,18 @@ mod tests {
         let enc = encode_batch(&b);
         let dec = decode_batch(&enc).unwrap();
         assert_eq!(b, dec);
+    }
+
+    #[test]
+    fn encoder_reuses_buffer_and_matches_one_shot() {
+        let b = sample_batch();
+        let mut enc = BatchEncoder::new();
+        let first = enc.encode(&b).to_vec();
+        assert_eq!(first, encode_batch(&b).to_vec());
+        // Second encode reuses the buffer and yields identical bytes.
+        let second = enc.encode(&b).to_vec();
+        assert_eq!(first, second);
+        assert_eq!(decode_batch(enc.encode(&b)).unwrap(), b);
     }
 
     #[test]

@@ -337,7 +337,7 @@ impl VolcanoPlanner {
         let mut best: Option<Arc<PhysPlan>> = None;
         for expr in &exprs {
             for plan in self.implement(gid, expr, req) {
-                if best.as_ref().map_or(true, |b| plan.total_cost < b.total_cost) {
+                if best.as_ref().is_none_or(|b| plan.total_cost < b.total_cost) {
                     best = Some(plan);
                 }
             }

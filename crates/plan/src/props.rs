@@ -94,13 +94,8 @@ pub fn selectivity(pred: &Expr, input: &LogicalProps) -> f64 {
             }
         }
         Expr::Not(inner) => 1.0 - selectivity(inner, input),
-        Expr::Like { negated, .. } => {
-            if *negated {
-                0.75
-            } else {
-                0.25
-            }
-        }
+        Expr::Like { negated: true, .. } => 0.75,
+        Expr::Like { negated: false, .. } => 0.25,
         Expr::InList { expr, list, negated } => {
             let base = match expr.as_ref() {
                 Expr::Col(c) => (list.len() as f64 / input.ndv(*c)).min(1.0),

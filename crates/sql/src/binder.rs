@@ -80,7 +80,7 @@ impl Scope {
             .iter()
             .enumerate()
             .filter(|(_, (q, n))| {
-                *n == name && qualifier.as_ref().map_or(true, |want| q.as_deref() == Some(want))
+                *n == name && qualifier.as_ref().is_none_or(|want| q.as_deref() == Some(want))
             })
             .map(|(i, _)| i)
             .collect();
@@ -830,7 +830,8 @@ impl<'a> Binder<'a> {
         placeholders: &[usize],
         plan_arity: usize,
     ) -> IcResult<Expr> {
-        let e = self.bind_scalar_inner(expr, scope, placeholders, plan_arity)?;
+        let _ = plan_arity;
+        let e = self.bind_scalar_inner(expr, scope, placeholders)?;
         Ok(fold_constants(e))
     }
 
@@ -839,9 +840,8 @@ impl<'a> Binder<'a> {
         expr: &AstExpr,
         scope: &Scope,
         placeholders: &[usize],
-        plan_arity: usize,
     ) -> IcResult<Expr> {
-        let bind = |e: &AstExpr| self.bind_scalar_inner(e, scope, placeholders, plan_arity);
+        let bind = |e: &AstExpr| self.bind_scalar_inner(e, scope, placeholders);
         match expr {
             AstExpr::Column { qualifier, name } => {
                 if qualifier.as_deref() == Some("$sq") {

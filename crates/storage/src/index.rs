@@ -58,7 +58,7 @@ impl Index {
         let mut partitions = Vec::with_capacity(data.num_partitions());
         for p in 0..data.num_partitions() {
             let mut rows: Vec<Row> = data.partition(p).iter().cloned().collect();
-            rows.sort_by(|a, b| key_of(a, &def.columns).cmp(&key_of(b, &def.columns)));
+            rows.sort_by_key(|a| key_of(a, &def.columns));
             partitions.push(Arc::new(rows));
         }
         Index { columns: def.columns.clone(), partitions }

@@ -49,10 +49,10 @@ impl TableStats {
                         continue;
                     }
                     distinct[c].insert(v.clone());
-                    if mins[c].as_ref().map_or(true, |m| v < m) {
+                    if mins[c].as_ref().is_none_or(|m| v < m) {
                         mins[c] = Some(v.clone());
                     }
-                    if maxs[c].as_ref().map_or(true, |m| v > m) {
+                    if maxs[c].as_ref().is_none_or(|m| v > m) {
                         maxs[c] = Some(v.clone());
                     }
                 }

@@ -38,8 +38,10 @@ fn main() {
 
     // A deliberately slower (50 MB/s) link makes data-shipping costs easy
     // to see at this laptop scale.
-    let mut network = ignite_calcite_rs::NetworkConfig::default();
-    network.bandwidth_bytes_per_sec = 50_000_000;
+    let network = ignite_calcite_rs::NetworkConfig {
+        bandwidth_bytes_per_sec: 50_000_000,
+        ..Default::default()
+    };
     let baseline = Cluster::new(ClusterConfig {
         sites: 8,
         variant: SystemVariant::IC,

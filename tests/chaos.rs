@@ -112,8 +112,8 @@ fn seeded_mid_run_crash_recovers_and_replays() {
         baselines.push(healthy.query(&tpch::query(*q)).unwrap().rows);
     }
 
-    let mut runs: Vec<(Vec<Vec<Row>>, u32, Vec<(SiteId, ignite_calcite_rs::SiteState)>)> =
-        Vec::new();
+    type Run = (Vec<Vec<Row>>, u32, Vec<(SiteId, ignite_calcite_rs::SiteState)>);
+    let mut runs: Vec<Run> = Vec::new();
     for _ in 0..2 {
         let cluster = chaos_cluster(1);
         cluster.install_faults(plan());

@@ -1,0 +1,175 @@
+//! Minimal std-only shim with the `criterion` surface this workspace uses:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `group.sample_size`, `bench_function` / `bench_with_input`, and
+//! `BenchmarkId`. The runner measures wall-clock per iteration and prints
+//! mean/min over `sample_size` samples — no statistics engine, but the same
+//! bench sources compile and produce comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup, then `sample_size` timed samples of one call each —
+        // these benches wrap whole queries, so per-call timing is stable.
+        let _ = routine();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed().as_secs_f64());
+            drop(out);
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher { samples: &mut samples, sample_size: self.sample_size };
+        f(&mut bencher);
+        let (mean, min) = summarize(&samples);
+        println!(
+            "{}/{}: mean {:.3} ms, min {:.3} ms ({} samples)",
+            self.name,
+            id,
+            mean * 1e3,
+            min * 1e3,
+            samples.len()
+        );
+        self.criterion.ran += 1;
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn summarize(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run_one(&name, f);
+        self
+    }
+
+    pub fn final_summary(&self) {
+        println!("criterion (vendored shim): {} benchmarks run", self.ran);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("scale", 7), &7u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.ran, 2);
+    }
+}

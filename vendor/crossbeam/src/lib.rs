@@ -1,0 +1,94 @@
+//! Minimal std-only shim with the `crossbeam::channel` surface this
+//! workspace uses: `bounded`, cloneable `Sender`, `Receiver::recv` /
+//! `recv_timeout`, and the matching error enums. Backed by
+//! `std::sync::mpsc::sync_channel`, which has the same bounded,
+//! block-on-full semantics the network layer relies on for backpressure.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_timeout() {
+            let (tx, rx) = bounded(2);
+            tx.send(7i64).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn sender_clones_share_channel() {
+            let (tx, rx) = bounded(4);
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+    }
+}

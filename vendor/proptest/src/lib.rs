@@ -1,0 +1,658 @@
+//! Minimal std-only shim with the `proptest` surface this workspace uses:
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` macros, the `Strategy`
+//! trait with `prop_map` / `prop_filter` / `prop_recursive`, `Just`,
+//! `any::<T>()` for the primitive types the tests sample, range strategies,
+//! tuple strategies, and `collection::vec`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case number and the deterministic per-test seed, which is enough to
+//! replay (seeds derive only from the test name and case index). Case count
+//! defaults to 256 and honours `PROPTEST_CASES`, like upstream.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Constructor-shaped mirror of upstream's `TestCaseError`. The shim's
+    /// test bodies return `Result<(), String>`, so `fail` produces the
+    /// `String` directly — call sites written against upstream
+    /// (`return Err(TestCaseError::fail(msg))`) compile unchanged.
+    pub struct TestCaseError;
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> String {
+            msg.into()
+        }
+        pub fn reject(msg: impl Into<String>) -> String {
+            msg.into()
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(...)]`. Only `cases`
+    /// is honoured; the struct-update `.. ProptestConfig::default()` idiom
+    /// works as upstream.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Deterministic per-case generator: seeded from the test name and case
+    /// index only, so failures replay without persistence files.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of one type. Everything composable in this shim is
+/// a `Strategy`; combinators erase to [`ArcStrategy`] immediately, trading
+/// the upstream zero-cost tower for simplicity.
+pub trait Strategy {
+    type Value: 'static;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: 'static, F>(self, f: F) -> ArcStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        ArcStrategy::new(move |rng| f(inner.generate(rng)))
+    }
+
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        ArcStrategy::new(move |rng| {
+            for _ in 0..10_000 {
+                let v = inner.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive values ({_whence})");
+        })
+    }
+
+    /// Build recursive structures: apply `recurse` up to `depth` times on
+    /// top of `self` as the leaf strategy. `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.erased();
+        let mut tiers: Vec<ArcStrategy<Self::Value>> = vec![leaf];
+        for _ in 0..depth {
+            let prev = tiers.last().unwrap().clone();
+            tiers.push(recurse(prev).erased());
+        }
+        // Pick a tier per generated value so shallow and deep shapes both
+        // occur, like upstream's probabilistic depth control.
+        ArcStrategy::new(move |rng| {
+            let tier = rng.below(tiers.len() as u64) as usize;
+            tiers[tier].generate(rng)
+        })
+    }
+
+    fn erased(self) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        ArcStrategy::new(move |rng| inner.generate(rng))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy. Not `Send`; the `proptest!`
+/// macro runs everything on the test thread.
+pub struct ArcStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for ArcStrategy<T> {
+    fn clone(&self) -> Self {
+        ArcStrategy { gen_fn: Rc::clone(&self.gen_fn) }
+    }
+}
+
+impl<T: 'static> ArcStrategy<T> {
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        ArcStrategy { gen_fn: Rc::new(f) }
+    }
+
+    /// Uniform choice between already-erased strategies (`prop_oneof!`).
+    pub fn union(arms: Vec<ArcStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        ArcStrategy::new(move |rng| {
+            let pick = rng.below(arms.len() as u64) as usize;
+            arms[pick].generate(rng)
+        })
+    }
+}
+
+impl<T: 'static> Strategy for ArcStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` for the primitive types the workspace samples.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of "interesting" and uniform values; upstream's f64 domain
+        // includes infinities and NaN, which tests filter when unwanted.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -1.5,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            _ => (rng.unit_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// String strategies from regex-like patterns, as in upstream proptest's
+/// `impl Strategy for &str`. Supports the `[class]{lo,hi}` shape (char
+/// classes of literals and `a-z` style ranges) that this workspace uses;
+/// anything fancier panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (class characters, lo, hi).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            if a > b {
+                return None;
+            }
+            chars.extend((a..=b).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+pub mod collection {
+    use super::{ArcStrategy, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specifications accepted by `collection::vec`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty size range");
+            start + rng.below((end - start + 1) as u64) as usize
+        }
+    }
+
+    pub fn vec<S, R>(element: S, size: R) -> ArcStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        R: SizeRange + 'static,
+    {
+        ArcStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+
+    pub fn hash_set<S, R>(
+        element: S,
+        size: R,
+    ) -> ArcStrategy<std::collections::HashSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: std::hash::Hash + Eq,
+        R: SizeRange + 'static,
+    {
+        // Like upstream, the size bound is a target, not a guarantee:
+        // duplicate draws simply leave the set smaller.
+        ArcStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod bool {
+    use super::{Any, Strategy, TestRng};
+
+    /// Strategy yielding either boolean, mirroring `proptest::bool::ANY`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+
+    // Keep the `Any` import referenced so the module mirrors upstream shape.
+    #[allow(dead_code)]
+    type _Unused = Any<bool>;
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof,
+        proptest, ArcStrategy, Just, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($left), stringify!($right), format_args!($($fmt)*),
+                l, r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n at {}:{}",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({})\n  both: {:?}\n at {}:{}",
+                stringify!($left), stringify!($right), format_args!($($fmt)*),
+                l, file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::ArcStrategy::union(vec![
+            $($crate::Strategy::erased($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed (deterministic seed: name+case):\n{}",
+                        case + 1, config.cases, stringify!($name), message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(a in 0i64..10, pair in (5usize..8, any::<bool>())) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..8).contains(&pair.0));
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(0i32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(-1i64), (0i64..5).prop_map(|x| x * 2)]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..10).contains(&v)));
+        }
+
+        #[test]
+        fn filter_excludes(v in (0i64..100).prop_filter("evens only", |x| x % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn recursion_bounded(t in Just(Tree::Leaf(0)).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        })) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        let s = (0i64..1_000_000, any::<u64>());
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

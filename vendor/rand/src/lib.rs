@@ -1,0 +1,166 @@
+//! Minimal std-only shim with the `rand` surface this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::{gen_range,
+//! gen_bool, gen_ratio}` over integer/float ranges. The generator is
+//! xoshiro256++ seeded through splitmix64 — deterministic for a given seed,
+//! which is all the data generators and tests rely on (they never pin
+//! absolute values from the upstream rand stream).
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `gen_range` can sample from: `Range`/`RangeInclusive` over the
+/// integer and float types the workspace uses.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool;
+}
+
+pub mod rngs {
+    use super::{Rng, SampleRange, SeedableRng};
+
+    /// xoshiro256++ generator; statistical quality is irrelevant here beyond
+    /// "spreads benchmark data", determinism per seed is what matters.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in [0, 1).
+        pub(crate) fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as upstream rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+
+        fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+            assert!(denominator > 0 && numerator <= denominator);
+            self.next_u64() % (denominator as u64) < numerator as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<i64> = (0..8).map(|_| c.gen_range(0i64..1_000_000)).collect();
+        let mut d = StdRng::seed_from_u64(42);
+        let other: Vec<i64> = (0..8).map(|_| d.gen_range(0i64..1_000_000)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(1usize..=5);
+            assert!((1..=5).contains(&w));
+            let f = r.gen_range(0.5f64..2.5);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ratio_and_bool_are_plausible() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 10)).count();
+        assert!(hits > 700 && hits < 1300, "gen_ratio(1,10) hit {hits}/10000");
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!(heads > 4500 && heads < 5500, "gen_bool(0.5) hit {heads}/10000");
+    }
+}
