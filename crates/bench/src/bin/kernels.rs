@@ -237,7 +237,7 @@ fn bench_sort(n: usize, reps: usize) -> Outcome {
     let rows: Vec<Row> = (0..n)
         .map(|i| {
             let mut cols = vec![Datum::Int(rng.gen_range(0..nkeys)), Datum::Int(i as i64)];
-            cols.extend((0..10).map(|p| Datum::Int(p)));
+            cols.extend((0..10).map(Datum::Int));
             Row(cols)
         })
         .collect();

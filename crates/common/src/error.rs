@@ -43,6 +43,10 @@ pub enum IcError {
     /// The bounded failover loop gave up: every attempt failed with a
     /// retryable error. `chain` records each attempt's failure in order.
     RetriesExhausted { attempts: u32, chain: Vec<String> },
+    /// An internal invariant was broken (a "this cannot happen" state such
+    /// as an operator polled before open or an unregistered exchange node).
+    /// Not retryable: the bug is in the engine, not the topology.
+    Internal(String),
 }
 
 impl fmt::Display for IcError {
@@ -71,6 +75,7 @@ impl fmt::Display for IcError {
                 write!(f, "failover exhausted after {attempts} attempt(s): ")?;
                 write!(f, "{}", chain.join(" -> "))
             }
+            IcError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -122,6 +127,8 @@ mod tests {
         assert!(site.is_retryable());
         assert!(site.to_string().contains("site2"));
         assert!(!IcError::Exec("boom".into()).is_retryable());
+        assert!(!IcError::Internal("bad state".into()).is_retryable());
+        assert!(IcError::Internal("bad state".into()).to_string().contains("internal"));
         assert!(!IcError::ExecTimeout { limit_ms: 1 }.is_retryable());
         let exhausted = IcError::RetriesExhausted {
             attempts: 3,

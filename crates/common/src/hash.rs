@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn flatmap_duplicate_inserts_return_existing() {
         let mut map = FlatMap::with_capacity(8);
-        let stored = vec![5i64];
+        let stored = [5i64];
         for _ in 0..3 {
             let (payload, _) = map.get_or_insert(99, |p| stored[p as usize] == 5i64, || 0);
             assert_eq!(payload, 0);

@@ -227,7 +227,9 @@ impl Cluster {
                     .catalog
                     .table_by_name(&ci.table)
                     .ok_or_else(|| IcError::Catalog(format!("unknown table '{}'", ci.table)))?;
-                let def = self.catalog.table_def(table).unwrap();
+                let def = self.catalog.table_def(table).ok_or_else(|| {
+                    IcError::Internal(format!("table '{}' resolved but has no definition", ci.table))
+                })?;
                 let cols: Vec<usize> = ci
                     .columns
                     .iter()
@@ -260,7 +262,9 @@ impl Cluster {
     /// bulk loading, like Ignite with statistics enabled).
     pub fn analyze_all(&self) -> IcResult<()> {
         for name in self.catalog.table_names() {
-            let id = self.catalog.table_by_name(&name).unwrap();
+            let id = self.catalog.table_by_name(&name).ok_or_else(|| {
+                IcError::Internal(format!("table '{name}' listed but not resolvable"))
+            })?;
             self.catalog.analyze(id)?;
         }
         Ok(())

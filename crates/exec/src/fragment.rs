@@ -58,7 +58,11 @@ impl Fragment {
 
 fn collect_exchanges(node: &Arc<PhysPlan>, registry: &ExchangeRegistry, out: &mut Vec<ExchangeId>) {
     if let PhysOp::Exchange { .. } = &node.op {
-        out.push(registry.id_of(node));
+        // Registration always precedes collection; an unregistered node
+        // simply contributes no receiver.
+        if let Some(id) = registry.id_of(node) {
+            out.push(id);
+        }
         return; // below is another fragment
     }
     for c in node.children() {
@@ -86,14 +90,11 @@ impl ExchangeRegistry {
         ExchangeId(self.entries.len() - 1)
     }
 
-    pub fn id_of(&self, node: &Arc<PhysPlan>) -> ExchangeId {
+    /// `None` when the node was never registered — the caller turns that
+    /// into an `IcError::Internal` instead of panicking mid-query.
+    pub fn id_of(&self, node: &Arc<PhysPlan>) -> Option<ExchangeId> {
         let ptr = Arc::as_ptr(node);
-        ExchangeId(
-            self.entries
-                .iter()
-                .position(|&p| p == ptr)
-                .expect("exchange node not registered"),
-        )
+        self.entries.iter().position(|&p| p == ptr).map(ExchangeId)
     }
 
     pub fn len(&self) -> usize {

@@ -436,7 +436,9 @@ impl RowSource for NestedLoopJoinExec {
             }
             self.right_rows = Some(rows);
         }
-        let right = self.right_rows.as_ref().unwrap();
+        let Some(right) = self.right_rows.as_ref() else {
+            return Err(IcError::Internal("nested-loop join: build side missing after build phase".into()));
+        };
         let mut out = Batch::new();
         loop {
             if self.current.is_none() {
@@ -452,7 +454,9 @@ impl RowSource for NestedLoopJoinExec {
                     }
                 }
             }
-            let batch = self.current.as_ref().unwrap();
+            let Some(batch) = self.current.as_ref() else {
+                return Err(IcError::Internal("nested-loop join: probe batch missing".into()));
+            };
             while self.li < batch.len() {
                 let left_row = &batch[self.li];
                 self.ctrl.check()?;
@@ -573,7 +577,9 @@ impl RowSource for HashJoinExec {
             }
             self.table = Some(table);
         }
-        let table = self.table.as_ref().unwrap();
+        let Some(table) = self.table.as_ref() else {
+            return Err(IcError::Internal("hash join: hash table missing after build phase".into()));
+        };
         let residual = if self.residual.is_true_literal() {
             None
         } else {
@@ -591,7 +597,9 @@ impl RowSource for HashJoinExec {
                     None => return Ok(if out.is_empty() { None } else { Some(out) }),
                 }
             }
-            let batch = self.current.as_ref().unwrap();
+            let Some(batch) = self.current.as_ref() else {
+                return Err(IcError::Internal("hash join: probe batch missing".into()));
+            };
             while self.li < batch.len() {
                 let left_row = &batch[self.li];
                 self.li += 1;
@@ -792,7 +800,9 @@ impl RowSource for HashAggExec {
             self.done = true;
         }
         self.ctrl.check()?;
-        let groups = self.groups.as_mut().unwrap();
+        let Some(groups) = self.groups.as_mut() else {
+            return Err(IcError::Internal("hash agg: group table missing after build phase".into()));
+        };
         if self.emit_pos >= groups.len() {
             return Ok(None);
         }

@@ -14,8 +14,8 @@ use ic_net::{
 use ic_plan::ops::{PhysOp, PhysPlan};
 use ic_plan::Distribution;
 use ic_storage::{Catalog, TableDistribution};
+use ic_common::hash::FxHashMap;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -314,7 +314,7 @@ struct BuildCtx<'a> {
     nvariants: usize,
     vplan: &'a VariantPlan,
     registry: &'a ExchangeRegistry,
-    receivers: HashMap<ExchangeId, ReceiverSource>,
+    receivers: FxHashMap<ExchangeId, ReceiverSource>,
     ctrl: Arc<ControlBlock>,
 }
 
@@ -452,7 +452,9 @@ impl BuildCtx<'_> {
                 self.ctrl.clone(),
             )),
             PhysOp::Exchange { .. } => {
-                let id = self.registry.id_of(node);
+                let id = self.registry.id_of(node).ok_or_else(|| {
+                    IcError::Internal("exchange node not registered".into())
+                })?;
                 let rx = self.receivers.remove(&id).ok_or_else(|| {
                     IcError::Exec(format!("missing receiver for exchange {id:?}"))
                 })?;
@@ -470,6 +472,7 @@ pub fn execute_plan(
     network: &Arc<Network>,
     opts: &ExecOptions,
 ) -> IcResult<(Vec<Row>, QueryStats)> {
+    // ic-lint: allow(L004) because the exec timeout is the paper's wall-clock runtime cap, not simulated time
     let start = Instant::now();
     let (msgs0, bytes0, _) = network.stats.snapshot();
     // Plan placement against the *surviving* topology: dead/suspect sites
@@ -499,14 +502,14 @@ pub fn execute_plan(
 
     // --- wire exchanges -------------------------------------------------
     // Producer fragment of each exchange.
-    let mut producer_of: HashMap<ExchangeId, usize> = HashMap::new();
+    let mut producer_of: FxHashMap<ExchangeId, usize> = FxHashMap::default();
     for (fi, f) in fragments.iter().enumerate() {
         if let Sink::Exchange { id, .. } = &f.sink {
             producer_of.insert(*id, fi);
         }
     }
     // Consumer fragment of each exchange.
-    let mut consumer_of: HashMap<ExchangeId, usize> = HashMap::new();
+    let mut consumer_of: FxHashMap<ExchangeId, usize> = FxHashMap::default();
     for (fi, f) in fragments.iter().enumerate() {
         for id in f.receiver_exchanges(&registry) {
             consumer_of.insert(id, fi);
@@ -514,9 +517,10 @@ pub fn execute_plan(
     }
     // Receiver endpoints per (exchange, site, variant) and sender
     // prototypes per exchange.
-    let mut rx_map: HashMap<(ExchangeId, SiteId, usize), NetReceiver<Msg>> = HashMap::new();
-    let mut tx_protos: HashMap<ExchangeId, Vec<(SiteId, usize, NetSender<Msg>)>> = HashMap::new();
-    let mut eof_count: HashMap<ExchangeId, usize> = HashMap::new();
+    let mut rx_map: FxHashMap<(ExchangeId, SiteId, usize), NetReceiver<Msg>> = FxHashMap::default();
+    let mut tx_protos: FxHashMap<ExchangeId, Vec<(SiteId, usize, NetSender<Msg>)>> =
+        FxHashMap::default();
+    let mut eof_count: FxHashMap<ExchangeId, usize> = FxHashMap::default();
     for (&ex, &ci) in &consumer_of {
         let consumer = &fragments[ci];
         let cvars = vplans[ci].variants;
@@ -538,7 +542,7 @@ pub fn execute_plan(
     }
 
     // --- spawn non-root fragment instances ------------------------------
-    let error_slot: Arc<Mutex<Option<IcError>>> = Arc::new(Mutex::new(None));
+    let error_slot: Arc<Mutex<Option<IcError>>> = Arc::new(Mutex::named(None, "exec.error_slot"));
     let mut handles: Vec<(usize, SiteId, usize, std::thread::JoinHandle<()>)> = Vec::new();
     let mut threads = 0usize;
     for (fi, fragment) in fragments.iter().enumerate() {
@@ -552,7 +556,7 @@ pub fn execute_plan(
             for vid in 0..vplans[fi].variants {
                 threads += 1;
                 // Collect this instance's receivers.
-                let mut receivers = HashMap::new();
+                let mut receivers = FxHashMap::default();
                 for ex in fragment.receiver_exchanges(&registry) {
                     let rx = rx_map
                         .remove(&(ex, site, vid))
@@ -623,7 +627,7 @@ pub fn execute_plan(
     // --- run the root fragment on this thread ---------------------------
     let root = &fragments[0];
     debug_assert!(root.is_root());
-    let mut receivers = HashMap::new();
+    let mut receivers = FxHashMap::default();
     let mut root_result: IcResult<Vec<Row>> = (|| {
         for ex in root.receiver_exchanges(&registry) {
             let rx = rx_map
@@ -678,6 +682,7 @@ pub fn execute_plan(
     // Once the deadline has passed, secondary channel failures caused by
     // cancellation are reported as the timeout they really are.
     if let Err(err) = &root_result {
+        // ic-lint: allow(L004) because the deadline check measures the same wall-clock runtime cap
         let deadline_passed = deadline.is_some_and(|d| Instant::now() > d);
         let mem_exceeded =
             ctrl.buffered_rows.load(std::sync::atomic::Ordering::Relaxed) > opts.memory_limit_rows;

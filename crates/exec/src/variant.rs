@@ -11,8 +11,8 @@
 //! semi/anti join are skipped, as are root fragments.
 
 use crate::fragment::{ExchangeId, ExchangeRegistry, Fragment};
+use ic_common::hash::FxHashMap;
 use ic_plan::ops::{AggPhase, JoinKind, PhysOp, PhysPlan};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How a source behaves inside a variant fragment (§5.3.1).
@@ -30,14 +30,14 @@ pub struct VariantPlan {
     /// Number of variant fragments (1 = not multithreaded).
     pub variants: usize,
     /// Mode of each scan/index-scan source, keyed by node pointer.
-    pub scan_modes: HashMap<usize, SourceMode>,
+    pub scan_modes: FxHashMap<usize, SourceMode>,
     /// Mode of each receiver (exchange) source.
-    pub receiver_modes: HashMap<ExchangeId, SourceMode>,
+    pub receiver_modes: FxHashMap<ExchangeId, SourceMode>,
 }
 
 impl VariantPlan {
     pub fn single() -> VariantPlan {
-        VariantPlan { variants: 1, scan_modes: HashMap::new(), receiver_modes: HashMap::new() }
+        VariantPlan { variants: 1, scan_modes: FxHashMap::default(), receiver_modes: FxHashMap::default() }
     }
 
     pub fn scan_mode(&self, node: &Arc<PhysPlan>) -> SourceMode {
@@ -87,8 +87,8 @@ pub fn plan_variants(
     }
     let mut plan = VariantPlan {
         variants: requested,
-        scan_modes: HashMap::new(),
-        receiver_modes: HashMap::new(),
+        scan_modes: FxHashMap::default(),
+        receiver_modes: FxHashMap::default(),
     };
     if !assign_modes(&fragment.root, SourceMode::Splitter, registry, &mut plan) {
         return VariantPlan::single();
@@ -113,9 +113,16 @@ fn assign_modes(
             true
         }
         PhysOp::Exchange { .. } => {
-            // A receiver source of this fragment.
-            plan.receiver_modes.insert(registry.id_of(node), mode);
-            true
+            // A receiver source of this fragment. An unregistered exchange
+            // means the fragment cannot be safely split — fall back to a
+            // single variant.
+            match registry.id_of(node) {
+                Some(id) => {
+                    plan.receiver_modes.insert(id, mode);
+                    true
+                }
+                None => false,
+            }
         }
         PhysOp::NestedLoopJoin { left, right, .. }
         | PhysOp::HashJoin { left, right, .. }

@@ -16,7 +16,7 @@ use ic_exec::operators::{
 use ic_net::topology::Topology;
 use ic_plan::ops::{AggCall, AggPhase, JoinKind};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use ic_common::hash::FxHashSet;
 
 fn src(data: Vec<Row>) -> BoxedSource {
     Box::new(VecSource::new(data))
@@ -127,7 +127,7 @@ proptest! {
         let row = Row(vec![key, Datum::Int(payload)]);
         let h = row.hash_key(&[0]);
         let topo = Topology::with_partitions_per_site(4, 8);
-        let assignment = topo.assignment(&HashSet::new()).unwrap();
+        let assignment = topo.assignment(&FxHashSet::default()).unwrap();
         prop_assert_eq!(
             topo.site_of_partition(topo.partition_of_hash(h)),
             assignment.site_for_hash(h)

@@ -24,6 +24,7 @@ fn canon(mut v: Vec<Row>) -> Vec<Row> {
     v
 }
 
+#[allow(clippy::type_complexity)]
 fn join_inputs() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
     (
         proptest::collection::vec((0i64..8, -20i64..20), 0..40),

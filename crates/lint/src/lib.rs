@@ -1,0 +1,65 @@
+//! `ic-lint` — workspace invariant checker.
+//!
+//! A std-only tokenizer plus a small rule engine enforcing the project
+//! invariants L001–L005 (see [`rules`] for the catalogue and pragma
+//! syntax). The crate deliberately has zero dependencies so it builds
+//! before — and independently of — everything it checks.
+
+pub mod lockgraph;
+pub mod rules;
+pub mod tokenizer;
+
+pub use rules::{lint_files, FileInput, Report, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Discover and lint every production source file under `root` (a workspace
+/// root): `crates/*/src/**/*.rs` and the root crate's `src/*.rs`. Test,
+/// bench and vendored code are out of scope by construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut inputs = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        inputs.push(FileInput { path: rel, source: std::fs::read_to_string(&f)? });
+    }
+    Ok(lint_files(&inputs))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,337 @@
+//! L005: static lock-order analysis.
+//!
+//! Per function, walk the token stream tracking which lock guards are held
+//! (a lexical approximation: a guard bound with `let` lives to the end of
+//! its enclosing block, a temporary guard dies at the next `;`, and
+//! `drop(guard)` releases early). Every acquisition while other locks are
+//! held contributes directed edges `held -> acquired` to a cross-crate
+//! graph keyed by the receiver's field name; a cycle in that graph is a
+//! potential deadlock between two call paths that take the same locks in
+//! opposite orders.
+//!
+//! This is deliberately intra-procedural — the dynamic detector in the
+//! vendored `parking_lot` shim covers cross-function nesting at test time.
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// One observed `held -> acquired` ordering, with its witness site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: u32,
+    pub func: String,
+}
+
+/// A reported lock-order cycle.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A lock guard currently held while scanning a function body.
+#[derive(Debug)]
+struct Held {
+    lock: String,
+    /// Brace depth at which the guard's binding lives; popped when the
+    /// scanner leaves that depth.
+    depth: usize,
+    /// Name the guard is bound to (`let g = m.lock()`), if any. Temporaries
+    /// (no binding) are popped at the next `;` at their own depth.
+    binding: Option<String>,
+}
+
+/// Extract lock-order edges from one file's (test-stripped) token stream.
+pub fn extract_edges(path: &str, toks: &[Tok]) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let func = toks[i + 1].text.clone();
+            // Find the body's opening brace (skip generics/args/ret type).
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle = (angle - 1).max(0),
+                        "{" if angle == 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        ";" if angle == 0 => break, // trait method decl, no body
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let Some(start) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            let end = scan_function_body(path, &func, toks, start, &mut edges);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    edges
+}
+
+/// Scan one `{ ... }` function body starting at the opening brace; returns
+/// the index just past the closing brace.
+fn scan_function_body(
+    path: &str,
+    func: &str,
+    toks: &[Tok],
+    open: usize,
+    edges: &mut Vec<LockEdge>,
+) -> usize {
+    let mut depth = 0usize;
+    let mut held: Vec<Held> = Vec::new();
+    // Pending `let` binding name, waiting to see if the initializer acquires.
+    let mut pending_let: Option<String> = None;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    held.retain(|h| h.depth <= depth);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                ";" => {
+                    // Temporary guards on this statement die here.
+                    held.retain(|h| !(h.binding.is_none() && h.depth == depth));
+                    pending_let = None;
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                if t.text == "let" {
+                    // `let [mut] name`
+                    let mut k = i + 1;
+                    if toks.get(k).is_some_and(|x| x.is_ident("mut")) {
+                        k += 1;
+                    }
+                    if let Some(name) = toks.get(k).filter(|x| x.kind == TokKind::Ident) {
+                        pending_let = Some(name.text.clone());
+                    }
+                } else if t.text == "drop"
+                    && toks.get(i + 1).is_some_and(|x| x.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+                    && toks.get(i + 3).is_some_and(|x| x.is_punct(')'))
+                {
+                    let name = &toks[i + 2].text;
+                    held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+                } else if (t.text == "lock" || t.text == "read" || t.text == "write")
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|x| x.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|x| x.is_punct(')'))
+                {
+                    if let Some(lock) = receiver_name(toks, i - 1) {
+                        for h in &held {
+                            if h.lock != lock {
+                                edges.push(LockEdge {
+                                    from: h.lock.clone(),
+                                    to: lock.clone(),
+                                    path: path.to_string(),
+                                    line: t.line,
+                                    func: func.to_string(),
+                                });
+                            }
+                        }
+                        held.push(Held { lock, depth, binding: pending_let.take() });
+                    }
+                }
+            }
+            TokKind::Lit => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Walk back from the `.` before `lock`/`read`/`write` to find the receiver
+/// field name, skipping balanced `(...)`/`[...]` groups and `.`-chains:
+/// `self.catalog.tables.read()` -> `tables`, `shards[i].lock()` -> `shards`.
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut i = dot; // index of the `.`
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let prev = &toks[i - 1];
+        match prev.kind {
+            TokKind::Ident => return Some(prev.text.clone()),
+            TokKind::Punct => match prev.text.as_str() {
+                ")" | "]" => {
+                    // Skip the balanced group, then continue leftward.
+                    let open = if prev.text == ")" { "(" } else { "[" };
+                    let close = prev.text.as_str();
+                    let mut bal = 0i32;
+                    let mut j = i - 1;
+                    loop {
+                        let p = &toks[j];
+                        if p.kind == TokKind::Punct {
+                            if p.text == close {
+                                bal += 1;
+                            } else if p.text == open {
+                                bal -= 1;
+                                if bal == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        if j == 0 {
+                            return None;
+                        }
+                        j -= 1;
+                    }
+                    i = j;
+                }
+                _ => return None,
+            },
+            TokKind::Lit => return None,
+        }
+    }
+}
+
+/// Merge edges into a graph (nodes keyed by lock name) and report every
+/// elementary order inversion / cycle, deduplicated by node set.
+pub fn find_cycles(edges: &[LockEdge]) -> Vec<Cycle> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut witness: BTreeMap<(&str, &str), &LockEdge> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        witness.entry((&e.from, &e.to)).or_insert(e);
+    }
+
+    let mut cycles = Vec::new();
+    let mut seen: BTreeSet<Vec<&str>> = BTreeSet::new();
+    // DFS from each node looking for a path back to it.
+    for &start in adj.keys() {
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((node, pathv)) = stack.pop() {
+            if let Some(nexts) = adj.get(node) {
+                for &next in nexts {
+                    if next == start && pathv.len() > 1 {
+                        let mut key: Vec<&str> = pathv.clone();
+                        key.sort_unstable();
+                        key.dedup();
+                        if seen.insert(key) {
+                            let w = witness[&(node, next)];
+                            let chain = {
+                                let mut c = pathv.join(" -> ");
+                                c.push_str(" -> ");
+                                c.push_str(start);
+                                c
+                            };
+                            let sites: Vec<String> = pathv
+                                .iter()
+                                .zip(pathv.iter().skip(1).chain(std::iter::once(&start)))
+                                .filter_map(|(a, b)| witness.get(&(*a, *b)))
+                                .map(|e| format!("{}:{} (fn {})", e.path, e.line, e.func))
+                                .collect();
+                            cycles.push(Cycle {
+                                path: w.path.clone(),
+                                line: w.line,
+                                message: format!(
+                                    "lock-order cycle: {chain}; acquisition sites: {}",
+                                    sites.join(", ")
+                                ),
+                            });
+                        }
+                    } else if !pathv.contains(&next) && pathv.len() < 8 {
+                        let mut p = pathv.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{strip_test_regions, tokenize};
+
+    fn edges_of(src: &str) -> Vec<LockEdge> {
+        let (toks, _) = tokenize(src);
+        extract_edges("crates/x/src/a.rs", &strip_test_regions(&toks))
+    }
+
+    #[test]
+    fn nested_acquisition_yields_edge() {
+        let src = "fn f(&self) { let a = self.names.write(); let b = self.tables.write(); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].from, "names");
+        assert_eq!(e[0].to, "tables");
+        assert_eq!(e[0].func, "f");
+    }
+
+    #[test]
+    fn temporary_guard_released_at_semicolon() {
+        let src = "fn f(&self) { self.names.write().insert(k); let b = self.tables.write(); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_binding() {
+        let src = "fn f(&self) { let a = self.names.write(); drop(a); let b = self.tables.write(); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_guard() {
+        let src = "fn f(&self) { { let a = self.names.write(); } let b = self.tables.write(); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn receiver_through_index_chain() {
+        let src = "fn f(&self) { let a = self.shards[i].lock(); let b = self.log.lock(); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].from, "shards");
+        assert_eq!(e[0].to, "log");
+    }
+
+    #[test]
+    fn inversion_across_functions_is_a_cycle() {
+        let src = "
+            fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+            fn ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }
+        ";
+        let e = edges_of(src);
+        let cycles = find_cycles(&e);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("alpha"));
+        assert!(cycles[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_no_cycle() {
+        let src = "
+            fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+            fn ab2(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+        ";
+        assert!(find_cycles(&edges_of(src)).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `ic-lint` CLI.
+//!
+//! ```text
+//! ic-lint [--deny-all] [--verbose] [--root DIR] [files...]
+//! ```
+//!
+//! With no file arguments, lints the whole workspace (found via
+//! `--root`, `CARGO_MANIFEST_DIR/../..`, or the current directory).
+//! Exits 1 if any unsuppressed violation is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // --deny-all is the default (and only) mode; accepted for CI clarity.
+            "--deny-all" => {}
+            "--verbose" | "-v" => verbose = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("ic-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ic-lint [--deny-all] [--verbose] [--root DIR] [files...]");
+                println!("rules: {}", ic_lint::rules::RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let report = if files.is_empty() {
+        let root = root
+            .or_else(|| {
+                std::env::var("CARGO_MANIFEST_DIR")
+                    .ok()
+                    .map(|d| PathBuf::from(d).join("../.."))
+            })
+            .unwrap_or_else(|| PathBuf::from("."));
+        let root = root.canonicalize().unwrap_or(root);
+        match ic_lint::lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ic-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut inputs = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(source) => inputs.push(ic_lint::FileInput {
+                    path: f.to_string_lossy().replace('\\', "/"),
+                    source,
+                }),
+                Err(e) => {
+                    eprintln!("ic-lint: cannot read {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        ic_lint::lint_files(&inputs)
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for s in &report.suppressed {
+            println!(
+                "note: {} suppressed ({})",
+                s.violation, s.justification
+            );
+        }
+    }
+    eprintln!(
+        "ic-lint: {} file(s), {} violation(s), {} suppressed",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,440 @@
+//! The lint rules and their scopes.
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L001 | no `unwrap()`/`expect()` in non-test code of `ic-net`/`ic-exec`/`ic-core` |
+//! | L002 | single-hash contract: no hasher construction outside `ic_common::hash` |
+//! | L003 | no std `HashMap`/`HashSet` in `ic-exec`/`ic-opt`/`ic-storage` hot paths |
+//! | L004 | no wall-clock (`Instant::now`/`SystemTime`/`thread::sleep`) in simulation-clock code |
+//! | L005 | no cycles in the cross-crate lock-acquisition-order graph |
+//!
+//! Any rule except L005 can be suppressed per-site with a pragma that must
+//! carry a justification:
+//!
+//! ```text
+//! // ic-lint: allow(L001) because the invariant X makes this infallible
+//! ```
+//!
+//! The pragma covers its own line and the next line. A pragma without a
+//! justification (no `because ...`) is itself a violation (`L000`).
+
+use crate::tokenizer::{strip_test_regions, tokenize, Comment, Tok, TokKind};
+
+pub const RULES: [&str; 5] = ["L001", "L002", "L003", "L004", "L005"];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A finding suppressed by a pragma, kept for `--verbose` reporting.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub violation: Violation,
+    pub justification: String,
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub suppressed: Vec<Suppressed>,
+    pub files_scanned: usize,
+}
+
+/// One source file handed to the engine. `path` should be workspace-relative
+/// with forward slashes — rule scoping is derived from it.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    pub path: String,
+    pub source: String,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+struct FileCtx {
+    /// Crate directory name under `crates/` (e.g. "net"), if any.
+    krate: Option<String>,
+    /// True for non-test production code (`src/`, not `tests/`/`benches/`).
+    is_src: bool,
+    /// File name (last path component).
+    file: String,
+}
+
+fn classify(path: &str) -> FileCtx {
+    let p = path.replace('\\', "/");
+    let file = p.rsplit('/').next().unwrap_or("").to_string();
+    let mut krate = None;
+    let mut is_src = false;
+    if let Some(rest) = p.strip_prefix("crates/") {
+        if let Some((name, tail)) = rest.split_once('/') {
+            krate = Some(name.to_string());
+            is_src = tail.starts_with("src/");
+        }
+    } else if p.starts_with("src/") {
+        krate = Some("root".to_string());
+        is_src = true;
+    }
+    FileCtx { krate, is_src, file }
+}
+
+fn in_scope(rule: &str, ctx: &FileCtx, path: &str) -> bool {
+    let krate = match &ctx.krate {
+        Some(k) => k.as_str(),
+        None => return false,
+    };
+    if krate == "lint" {
+        return false; // the tool does not police itself
+    }
+    match rule {
+        "L001" => ctx.is_src && matches!(krate, "net" | "exec" | "core"),
+        "L002" => ctx.is_src && krate != "common",
+        "L003" => ctx.is_src && matches!(krate, "exec" | "opt" | "storage"),
+        "L004" => {
+            (ctx.is_src && krate == "net")
+                || path.replace('\\', "/").ends_with("crates/exec/src/runtime.rs")
+                || (krate == "exec" && ctx.is_src && ctx.file == "runtime.rs")
+        }
+        "L005" => ctx.is_src,
+        _ => false,
+    }
+}
+
+/// Pragmas parsed from a file's line comments.
+#[derive(Debug, Default)]
+struct Pragmas {
+    /// (rule, line) pairs covered by an `allow` pragma, with justification.
+    allows: Vec<(String, u32, String)>,
+    /// Malformed pragmas (missing justification / unknown rule).
+    errors: Vec<(u32, String)>,
+}
+
+fn parse_pragmas(comments: &[Comment]) -> Pragmas {
+    let mut out = Pragmas::default();
+    for c in comments {
+        let Some(pos) = c.text.find("ic-lint:") else { continue };
+        let body = c.text[pos + "ic-lint:".len()..].trim();
+        let Some(args) = body.strip_prefix("allow") else {
+            out.errors.push((c.line, format!("unknown ic-lint directive: '{body}'")));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(close) = args.find(')') else {
+            out.errors.push((c.line, "malformed allow pragma: missing ')'".into()));
+            continue;
+        };
+        let rules_part = args
+            .strip_prefix('(')
+            .map(|s| &s[..close.saturating_sub(1)])
+            .unwrap_or("");
+        let tail = args[close + 1..].trim();
+        let justification = match tail.strip_prefix("because") {
+            Some(j) if !j.trim().is_empty() => j.trim().to_string(),
+            _ => {
+                out.errors.push((
+                    c.line,
+                    "allow pragma requires a justification: `// ic-lint: allow(L00x) because ...`"
+                        .into(),
+                ));
+                continue;
+            }
+        };
+        for rule in rules_part.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+            if !RULES.contains(&rule) {
+                out.errors.push((c.line, format!("unknown rule '{rule}' in allow pragma")));
+                continue;
+            }
+            out.allows.push((rule.to_string(), c.line, justification.clone()));
+        }
+    }
+    out
+}
+
+impl Pragmas {
+    /// Justification if `rule` is allowed at `line` (pragma on the same or
+    /// the preceding line).
+    fn allowed(&self, rule: &str, line: u32) -> Option<&str> {
+        self.allows
+            .iter()
+            .find(|(r, l, _)| r == rule && (*l == line || l + 1 == line))
+            .map(|(_, _, j)| j.as_str())
+    }
+}
+
+/// Lint a set of files; rules are scoped by each file's path.
+pub fn lint_files(files: &[FileInput]) -> Report {
+    let mut report = Report::default();
+    let mut lock_edges: Vec<crate::lockgraph::LockEdge> = Vec::new();
+    for f in files {
+        let ctx = classify(&f.path);
+        if ctx.krate.as_deref() == Some("lint") {
+            // The tool does not police itself (its sources and docs quote
+            // the very patterns the rules ban).
+            report.files_scanned += 1;
+            continue;
+        }
+        let (all_toks, comments) = tokenize(&f.source);
+        let toks = strip_test_regions(&all_toks);
+        let pragmas = parse_pragmas(&comments);
+        for (line, msg) in &pragmas.errors {
+            report.violations.push(Violation {
+                rule: "L000",
+                path: f.path.clone(),
+                line: *line,
+                message: msg.clone(),
+            });
+        }
+
+        let mut findings: Vec<(&'static str, u32, String)> = Vec::new();
+        if in_scope("L001", &ctx, &f.path) {
+            findings.extend(rule_l001(&toks));
+        }
+        if in_scope("L002", &ctx, &f.path) {
+            findings.extend(rule_l002(&toks));
+        }
+        if in_scope("L003", &ctx, &f.path) {
+            findings.extend(rule_l003(&toks));
+        }
+        if in_scope("L004", &ctx, &f.path) {
+            findings.extend(rule_l004(&toks));
+        }
+        if in_scope("L005", &ctx, &f.path) {
+            lock_edges.extend(crate::lockgraph::extract_edges(&f.path, &toks));
+        }
+
+        for (rule, line, message) in findings {
+            let v = Violation { rule, path: f.path.clone(), line, message };
+            match pragmas.allowed(rule, line) {
+                Some(j) => report
+                    .suppressed
+                    .push(Suppressed { violation: v, justification: j.to_string() }),
+                None => report.violations.push(v),
+            }
+        }
+        report.files_scanned += 1;
+    }
+
+    // L005 is cross-file: build the global graph and report cycles.
+    for cycle in crate::lockgraph::find_cycles(&lock_edges) {
+        report.violations.push(Violation {
+            rule: "L005",
+            path: cycle.path.clone(),
+            line: cycle.line,
+            message: cycle.message,
+        });
+    }
+    report
+}
+
+/// L001: `.unwrap()` / `.expect(` calls.
+fn rule_l001(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_punct('.')
+            && w[1].kind == TokKind::Ident
+            && (w[1].text == "unwrap" || w[1].text == "expect")
+            && w[2].is_punct('(')
+        {
+            out.push((
+                "L001",
+                w[1].line,
+                format!(
+                    ".{}() in non-test code; return a typed IcError instead (or justify \
+                     with an allow pragma)",
+                    w[1].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L002: hasher construction outside `ic_common::hash` — the whole stack
+/// must agree on one hash function (`Row::hash_key`) because partition
+/// routing computes `hash(key) % partitions` on every site.
+fn rule_l002(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    const BANNED: [&str; 6] = [
+        "DefaultHasher",
+        "RandomState",
+        "SipHasher",
+        "SipHasher13",
+        "BuildHasherDefault",
+        "FxHasher",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push((
+                "L002",
+                t.line,
+                format!(
+                    "`{}` outside ic_common::hash breaks the single-hash contract; \
+                     hash rows via Row::hash_key / FxHashMap",
+                    t.text
+                ),
+            ));
+        }
+        // `std :: hash` path reference.
+        if t.is_ident("std")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|c| c.is_ident("hash"))
+        {
+            out.push((
+                "L002",
+                t.line,
+                "`std::hash` outside ic_common::hash breaks the single-hash contract".into(),
+            ));
+        }
+    }
+    out
+}
+
+/// L003: std `HashMap`/`HashSet` (SipHash + per-process random seed) in the
+/// execution/planner/storage hot paths; use `FlatMap` in per-row kernels or
+/// the deterministic `FxHashMap`/`FxHashSet` elsewhere.
+fn rule_l003(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push((
+                "L003",
+                t.line,
+                format!(
+                    "std `{}` in a hot-path crate; use FlatMap (kernels) or Fx{} \
+                     from ic_common",
+                    t.text, t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L004: wall-clock time in simulation-clock code. `ic-net`'s fault layer
+/// and the exchange tick space are driven by logical ticks; real time there
+/// makes fault schedules nondeterministic and figures untrustworthy.
+fn rule_l004(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push(("L004", t.line, "`SystemTime` in simulation-clock code".into()));
+        }
+        let path2 = |a: &str, b: &str| {
+            t.is_ident(a)
+                && toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|x| x.is_ident(b))
+        };
+        if path2("Instant", "now") {
+            out.push((
+                "L004",
+                t.line,
+                "`Instant::now()` in simulation-clock code; use logical ticks".into(),
+            ));
+        }
+        if path2("thread", "sleep") {
+            out.push((
+                "L004",
+                t.line,
+                "`thread::sleep` in simulation-clock code; advance the virtual clock".into(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Report {
+        lint_files(&[FileInput { path: path.into(), source: src.into() }])
+    }
+
+    #[test]
+    fn l001_flags_and_pragma_suppresses() {
+        let bad = "fn f() { x.unwrap(); y.expect(\"m\"); }";
+        let r = lint_one("crates/net/src/a.rs", bad);
+        assert_eq!(r.violations.len(), 2);
+        assert_eq!(r.violations[0].rule, "L001");
+
+        let ok = "// ic-lint: allow(L001) because infallible by construction\nfn f() { x.unwrap(); }";
+        let r = lint_one("crates/net/src/a.rs", ok);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.suppressed[0].justification.contains("infallible"));
+    }
+
+    #[test]
+    fn l001_pragma_requires_justification() {
+        let src = "// ic-lint: allow(L001)\nfn f() { x.unwrap(); }";
+        let r = lint_one("crates/net/src/a.rs", src);
+        // Both the malformed pragma and the (unsuppressed) unwrap fire.
+        assert!(r.violations.iter().any(|v| v.rule == "L000"));
+        assert!(r.violations.iter().any(|v| v.rule == "L001"));
+    }
+
+    #[test]
+    fn l001_out_of_scope_crates_ignored() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(lint_one("crates/sql/src/a.rs", src).violations.is_empty());
+        assert!(lint_one("crates/net/tests/a.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn l002_flags_hashers() {
+        let src = "use std::hash::Hasher; fn f() { let h = DefaultHasher::new(); }";
+        let r = lint_one("crates/opt/src/a.rs", src);
+        assert!(r.violations.iter().filter(|v| v.rule == "L002").count() >= 2);
+        // ic_common::hash itself is exempt.
+        let r = lint_one("crates/common/src/hash.rs", src);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn l003_flags_std_maps_in_hot_crates() {
+        let src = "use std::collections::HashMap; fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let r = lint_one("crates/exec/src/kernels.rs", src);
+        assert!(r.violations.iter().all(|v| v.rule == "L003"));
+        assert_eq!(r.violations.len(), 3);
+        // FxHashMap is fine.
+        let r = lint_one("crates/exec/src/kernels.rs", "fn f() { let m = FxHashMap::default(); }");
+        assert!(r.violations.is_empty());
+        // ic-net is not in L003 scope.
+        let r = lint_one("crates/net/src/fault.rs", src);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn l004_flags_wall_clock() {
+        let src = "fn f() { let t = Instant::now(); std::thread::sleep(d); let s = SystemTime::now(); }";
+        let r = lint_one("crates/net/src/fault.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L004").count(), 3);
+        let r = lint_one("crates/exec/src/runtime.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L004").count(), 3);
+        // Other exec files are out of L004 scope.
+        let r = lint_one("crates/exec/src/operators.rs", src);
+        assert!(r.violations.iter().all(|v| v.rule != "L004"));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            // x.unwrap() in a comment
+            fn f() { let s = "y.unwrap() and HashMap and Instant::now"; }
+        "#;
+        let r = lint_one("crates/exec/src/runtime.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}

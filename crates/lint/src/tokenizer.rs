@@ -1,0 +1,442 @@
+//! A minimal std-only Rust tokenizer — just enough lexical fidelity for the
+//! lint rules: identifiers, single-character punctuation, literals, and line
+//! comments (kept separately, because `// ic-lint: allow(...)` pragmas live
+//! there). Strings, raw strings, byte strings, char literals, lifetimes and
+//! nested block comments are consumed correctly so that rule token patterns
+//! never fire inside them.
+
+/// Kinds of significant tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Lit,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `//` line comment (text after the slashes, trimmed) with its line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Tokenize Rust source into significant tokens plus line comments.
+pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                comments.push(Comment { line, text: text.trim().to_string() });
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Nested block comments, as in rustc.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                line += count_lines(&bytes[i..j.min(n)]);
+                i = j;
+            }
+            '"' => {
+                let j = scan_string(&bytes, i);
+                line += count_lines(&bytes[i..j]);
+                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                let j = scan_raw_or_byte_string(&bytes, i);
+                line += count_lines(&bytes[i..j]);
+                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote.
+                if i + 1 < n && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' {
+                        // 'a' — a char literal.
+                        toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                        i = j + 1;
+                    } else {
+                        // 'a — a lifetime; emit as punct so patterns skip it.
+                        toks.push(Tok { kind: TokKind::Punct, text: "'".into(), line });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: '\n', '\'', '\u{..}'.
+                    let mut j = i + 1;
+                    while j < n && bytes[j] != '\'' {
+                        if bytes[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                    i = (j + 1).min(n);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                toks.push(Tok { kind: TokKind::Ident, text, line });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < n {
+                    let d = bytes[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.'
+                        && !seen_dot
+                        && j + 1 < n
+                        && bytes[j + 1].is_ascii_digit()
+                    {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                i = j;
+            }
+            other => {
+                toks.push(Tok { kind: TokKind::Punct, text: other.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+fn scan_string(bytes: &[char], start: usize) -> usize {
+    let n = bytes.len();
+    let mut j = start + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    match bytes[i] {
+        'r' => {
+            // r"..." or r#"..."#
+            let mut j = i + 1;
+            while j < n && bytes[j] == '#' {
+                j += 1;
+            }
+            j < n && bytes[j] == '"'
+        }
+        'b' => {
+            // b"...", br"...", br#"..."#
+            if i + 1 >= n {
+                return false;
+            }
+            if bytes[i + 1] == '"' {
+                return true;
+            }
+            if bytes[i + 1] == 'r' {
+                let mut j = i + 2;
+                while j < n && bytes[j] == '#' {
+                    j += 1;
+                }
+                return j < n && bytes[j] == '"';
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+fn scan_raw_or_byte_string(bytes: &[char], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i;
+    // Skip the b/r prefix.
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && bytes[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && bytes[j] == '"');
+    j += 1; // opening quote
+    if raw {
+        // Scan to `"` followed by `hashes` hash marks; no escapes in raw.
+        while j < n {
+            if bytes[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0;
+                while k < n && h < hashes && bytes[k] == '#' {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return k;
+                }
+            }
+            j += 1;
+        }
+        n
+    } else {
+        // b"..." with escapes.
+        while j < n {
+            match bytes[j] {
+                '\\' => j += 2,
+                '"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    }
+}
+
+/// Remove `#[cfg(test)]`-gated items (and `#[test]` functions) from a token
+/// stream, so rules only see production code. Operates purely lexically:
+/// after a matching attribute, the next item is skipped up to its closing
+/// brace or terminating semicolon.
+pub fn strip_test_regions(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attribute(toks, i) {
+            // Skip any further attributes on the same item.
+            let mut j = after_attr;
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attribute(toks, j);
+            }
+            // Skip the item: first `{...}` group or `;` at depth 0.
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('{') {
+                    if depth == 0 {
+                        j = skip_braced(toks, j);
+                        break;
+                    }
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If `toks[i..]` starts a `#[cfg(test)]`/`#[cfg(all(test, ...))]`/`#[test]`
+/// attribute, return the index just past its closing `]`.
+fn match_test_attribute(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks.get(i)?.is_punct('#') && toks.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let head = toks.get(i + 2)?;
+    let is_test = if head.is_ident("test") {
+        true
+    } else if head.is_ident("cfg") {
+        // Any `test` ident inside the attribute arguments counts.
+        let end = skip_attribute(toks, i);
+        toks[i + 3..end.saturating_sub(1)].iter().any(|t| t.is_ident("test"))
+    } else {
+        false
+    };
+    if is_test {
+        Some(skip_attribute(toks, i))
+    } else {
+        None
+    }
+}
+
+/// Skip a `#[...]` attribute starting at `i` (which must be `#`); returns
+/// the index just past the closing `]`.
+fn skip_attribute(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skip a braced group starting at `i` (which must be `{`); returns the
+/// index just past the matching `}`.
+fn skip_braced(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let (toks, _) = tokenize("let x = foo.bar();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "foo", "bar"]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            let a = "unwrap() inside string";
+            // a line comment with unwrap()
+            /* block with unwrap() */
+            let b = r#"raw unwrap()"#;
+            let c = 'x';
+        "##;
+        let (toks, comments) = tokenize(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = tokenize("fn f<'a>(x: &'a str) {} let c = 'q';");
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn cfg_test_region_stripped() {
+        let src = r#"
+            fn real() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+            fn also_real() {}
+        "#;
+        let (toks, _) = tokenize(src);
+        let kept = strip_test_regions(&toks);
+        let idents: Vec<&str> = kept
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"real"));
+        assert!(idents.contains(&"also_real"));
+        assert!(!idents.contains(&"tests"));
+        assert_eq!(idents.iter().filter(|&&s| s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn numeric_range_does_not_eat_dots() {
+        let (toks, _) = tokenize("for i in 0..10 { v[i] = 1.5; }");
+        // `..` survives as two dots.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,14 @@
+// Seeded L001 violation: unwrap/expect in non-test code.
+pub fn bad(sender: &Sender) {
+    sender.send(msg).unwrap();
+    let v = table.get(&k).expect("row must exist");
+    let _ = v;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        x.unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// Seeded L002 violation: ad-hoc hasher construction outside ic_common::hash.
+use std::hash::{Hash, Hasher};
+
+pub fn bad_hash(key: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,9 @@
+// Seeded L003 violation: std HashMap in an exec hot path.
+use std::collections::HashMap;
+
+pub fn group_rows(rows: &[Row]) {
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        groups.entry(r.key).or_default().push(i);
+    }
+}

@@ -1,0 +1,9 @@
+// Seeded L004 violation: wall-clock time in simulation-clock code.
+use std::time::{Duration, Instant};
+
+pub fn bad_wait() {
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_millis(5));
+    let _wall = std::time::SystemTime::now();
+    let _ = started;
+}

@@ -1,0 +1,20 @@
+// Seeded L005 violation: two functions acquire the same pair of locks in
+// opposite orders — a classic ABBA deadlock.
+pub struct State {
+    registry: Mutex<Registry>,
+    journal: Mutex<Journal>,
+}
+
+impl State {
+    pub fn register(&self) {
+        let reg = self.registry.lock();
+        let jrn = self.journal.lock();
+        jrn.append(reg.snapshot());
+    }
+
+    pub fn replay(&self) {
+        let jrn = self.journal.lock();
+        let reg = self.registry.lock();
+        reg.apply(jrn.entries());
+    }
+}

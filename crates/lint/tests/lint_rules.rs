@@ -1,0 +1,102 @@
+//! Integration tests: every seeded fixture trips exactly its rule, and the
+//! real workspace is clean under `--deny-all` semantics.
+
+use ic_lint::{lint_files, lint_workspace, FileInput};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).expect("fixture readable")
+}
+
+/// Feed a fixture through the engine under a virtual in-scope path.
+fn lint_as(virtual_path: &str, fixture_name: &str) -> ic_lint::Report {
+    lint_files(&[FileInput { path: virtual_path.into(), source: fixture(fixture_name) }])
+}
+
+#[test]
+fn fixture_l001_unwrap_fails() {
+    let r = lint_as("crates/net/src/fixture.rs", "l001_unwrap.rs");
+    let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L001").collect();
+    assert_eq!(hits.len(), 2, "{:?}", r.violations);
+    // The #[cfg(test)] unwrap must not be counted.
+    assert!(hits.iter().all(|v| v.line < 8));
+}
+
+#[test]
+fn fixture_l002_hasher_fails() {
+    let r = lint_as("crates/opt/src/fixture.rs", "l002_hasher.rs");
+    assert!(
+        r.violations.iter().any(|v| v.rule == "L002"),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn fixture_l003_hashmap_fails() {
+    let r = lint_as("crates/exec/src/fixture.rs", "l003_hashmap.rs");
+    assert!(
+        r.violations.iter().filter(|v| v.rule == "L003").count() >= 2,
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn fixture_l004_wallclock_fails() {
+    let r = lint_as("crates/net/src/fixture.rs", "l004_wallclock.rs");
+    let kinds: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.rule == "L004")
+        .map(|v| v.message.clone())
+        .collect();
+    assert_eq!(kinds.len(), 3, "{kinds:?}");
+}
+
+#[test]
+fn fixture_l005_inversion_fails() {
+    let r = lint_as("crates/core/src/fixture.rs", "l005_inversion.rs");
+    let cycles: Vec<_> = r.violations.iter().filter(|v| v.rule == "L005").collect();
+    assert_eq!(cycles.len(), 1, "{:?}", r.violations);
+    assert!(cycles[0].message.contains("registry"));
+    assert!(cycles[0].message.contains("journal"));
+}
+
+#[test]
+fn fixtures_out_of_scope_paths_pass() {
+    // The same sources are fine where the rules don't apply.
+    for (path, fixture_name) in [
+        ("crates/sql/src/fixture.rs", "l001_unwrap.rs"),
+        ("crates/net/src/fixture.rs", "l003_hashmap.rs"),
+        ("crates/exec/src/operators.rs", "l004_wallclock.rs"),
+        ("crates/net/tests/fixture.rs", "l005_inversion.rs"),
+    ] {
+        let r = lint_as(path, fixture_name);
+        assert!(
+            r.violations.is_empty(),
+            "{path} + {fixture_name}: {:?}",
+            r.violations
+        );
+    }
+}
+
+#[test]
+fn pragma_suppresses_with_justification() {
+    let src = "// ic-lint: allow(L004) because the delay simulator is the wall-clock boundary\n\
+               fn f() { std::thread::sleep(d); }";
+    let r = lint_files(&[FileInput { path: "crates/net/src/x.rs".into(), source: src.into() }]);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.suppressed.len(), 1);
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The invariant the CI step enforces, also enforced under `cargo test`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+    let msgs: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(msgs.is_empty(), "workspace lint violations:\n{}", msgs.join("\n"));
+}

@@ -18,8 +18,9 @@
 //! backup owners.
 
 use crate::topology::SiteId;
+use ic_common::hash::FxHashSet;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -270,7 +271,7 @@ impl Liveness {
     }
 
     /// Sites currently excluded from query planning (dead or suspect).
-    pub fn down_sites(&self) -> HashSet<SiteId> {
+    pub fn down_sites(&self) -> FxHashSet<SiteId> {
         self.states
             .lock()
             .iter()
@@ -328,8 +329,8 @@ impl FaultInjector {
         Arc::new(FaultInjector {
             plan,
             clock: AtomicU64::new(0),
-            link_seq: Mutex::new(HashMap::new()),
-            log: Mutex::new(Vec::new()),
+            link_seq: Mutex::named(HashMap::new(), "fault.link_seq"),
+            log: Mutex::named(Vec::new(), "fault.log"),
         })
     }
 
@@ -415,9 +416,9 @@ impl FaultInjector {
         let tick = self.now();
         // Per site: does any active permanent / active transient crash
         // window cover the current tick?
-        let mut permanent: HashSet<SiteId> = HashSet::new();
-        let mut transient: HashSet<SiteId> = HashSet::new();
-        let mut mentioned: HashSet<SiteId> = HashSet::new();
+        let mut permanent: FxHashSet<SiteId> = FxHashSet::default();
+        let mut transient: FxHashSet<SiteId> = FxHashSet::default();
+        let mut mentioned: FxHashSet<SiteId> = FxHashSet::default();
         for ev in &self.plan.events {
             if let FaultKind::SiteCrash { site, transient: t } = ev.kind {
                 mentioned.insert(site);

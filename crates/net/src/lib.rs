@@ -104,7 +104,7 @@ impl Network {
         Arc::new(Network {
             config,
             stats: NetStats::default(),
-            faults: Mutex::new(None),
+            faults: Mutex::named(None, "network.faults"),
             liveness: Liveness::default(),
         })
     }
@@ -180,6 +180,7 @@ impl Network {
             return Ok(());
         }
         match abort {
+            // ic-lint: allow(L004) because the delay simulator is the one sanctioned wall-clock boundary
             None => std::thread::sleep(delay),
             Some(abort) => {
                 const CHUNK: Duration = Duration::from_millis(1);
@@ -189,6 +190,7 @@ impl Network {
                         return Err(NetError::Aborted);
                     }
                     let step = remaining.min(CHUNK);
+                    // ic-lint: allow(L004) because chunked sleeping models link bandwidth while staying abortable
                     std::thread::sleep(step);
                     remaining = remaining.saturating_sub(step);
                 }

@@ -1,7 +1,7 @@
 //! Cluster topology: site identifiers, partition-to-site placement, and
 //! failover assignments computed against the live-site set.
 
-use std::collections::HashSet;
+use ic_common::hash::FxHashSet;
 use std::fmt;
 
 /// A logical processing site — one "machine" of the paper's 4/8-node
@@ -100,7 +100,7 @@ impl Topology {
     /// partition is assigned its first owner (primary, then backups in
     /// order) that is not in `down`. Fails when a partition has no live
     /// copy, or no site at all survives.
-    pub fn assignment(&self, down: &HashSet<SiteId>) -> Result<Assignment, FailoverError> {
+    pub fn assignment(&self, down: &FxHashSet<SiteId>) -> Result<Assignment, FailoverError> {
         let live: Vec<SiteId> = self.sites().filter(|s| !down.contains(s)).collect();
         if live.is_empty() {
             return Err(FailoverError::NoLiveSites);
@@ -142,7 +142,8 @@ impl Assignment {
     /// partition has its primary).
     pub fn healthy(topology: &Topology) -> Assignment {
         topology
-            .assignment(&HashSet::new())
+            .assignment(&FxHashSet::default())
+            // ic-lint: allow(L001) because with no site down every partition keeps its primary owner
             .expect("assignment with no down sites cannot fail")
     }
 
@@ -260,7 +261,7 @@ mod tests {
     #[test]
     fn failover_substitutes_backup_owner() {
         let t = Topology::with_backups(4, 1);
-        let down: HashSet<SiteId> = [SiteId(2)].into_iter().collect();
+        let down: FxHashSet<SiteId> = [SiteId(2)].into_iter().collect();
         let a = t.assignment(&down).unwrap();
         assert_eq!(a.live_sites(), &[SiteId(0), SiteId(1), SiteId(3)]);
         // Partition 2's primary (site2) is down; backup is site3.
@@ -272,7 +273,7 @@ mod tests {
     #[test]
     fn failover_without_backups_loses_partition() {
         let t = Topology::new(4);
-        let down: HashSet<SiteId> = [SiteId(2)].into_iter().collect();
+        let down: FxHashSet<SiteId> = [SiteId(2)].into_iter().collect();
         match t.assignment(&down) {
             Err(FailoverError::PartitionLost { partition, primary, replicas }) => {
                 assert_eq!((partition, primary, replicas), (2, SiteId(2), 0));
@@ -284,7 +285,7 @@ mod tests {
     #[test]
     fn coordinator_fails_over() {
         let t = Topology::with_backups(3, 2);
-        let down: HashSet<SiteId> = [SiteId(0)].into_iter().collect();
+        let down: FxHashSet<SiteId> = [SiteId(0)].into_iter().collect();
         let a = t.assignment(&down).unwrap();
         assert_eq!(a.coordinator(), SiteId(1));
         // All partitions still covered.
@@ -296,7 +297,7 @@ mod tests {
     #[test]
     fn all_sites_down_is_an_error() {
         let t = Topology::with_backups(2, 1);
-        let down: HashSet<SiteId> = t.sites().collect();
+        let down: FxHashSet<SiteId> = t.sites().collect();
         assert_eq!(t.assignment(&down), Err(FailoverError::NoLiveSites));
     }
 }

@@ -7,7 +7,7 @@ use ic_net::{
     FaultInjector, FaultPlan, Liveness, SiteId, Topology, TICK_FOREVER,
 };
 use proptest::prelude::*;
-use std::collections::HashSet;
+use ic_common::hash::FxHashSet;
 
 /// Drive an injector through a fixed serial probe sequence, returning the
 /// decision sequence plus the final liveness snapshot.
@@ -94,7 +94,7 @@ proptest! {
     ) {
         let backups = backups.min(sites - 1);
         let topology = Topology::with_backups(sites, backups);
-        let dead: HashSet<SiteId> = dead_raw
+        let dead: FxHashSet<SiteId> = dead_raw
             .into_iter()
             .map(|s| SiteId(s % sites))
             .take(backups)

@@ -55,6 +55,9 @@ pub fn optimize_query(
 ) -> IcResult<Optimized> {
     // Stage 1: Hep rewrites (both variants; rule lists differ by flags).
     let logical = hep_stage(plan, flags)?;
+    if cfg!(debug_assertions) {
+        ic_plan::validate::debug_validate_logical(&logical, "hep stage");
+    }
 
     // Stage 2: Volcano.
     let (reorder, factor) = if flags.two_phase {
@@ -66,6 +69,9 @@ pub fn optimize_query(
     };
     let mut volcano = VolcanoPlanner::new(catalog.clone(), flags.clone(), reorder, factor);
     let plan = volcano.optimize(&logical)?;
+    if cfg!(debug_assertions) {
+        ic_plan::validate::debug_validate(&plan, "volcano stage");
+    }
     Ok(Optimized {
         plan,
         logical,
@@ -243,7 +249,7 @@ mod tests {
         assert_eq!(opt.plan.dist, Distribution::Single);
         assert!(collation_starts(&opt.plan, 1));
         fn collation_starts(p: &PhysPlan, col: usize) -> bool {
-            p.collation.first().map_or(false, |k| k.col == col && !k.desc)
+            p.collation.first().is_some_and(|k| k.col == col && !k.desc)
         }
     }
 

@@ -28,7 +28,7 @@ use ic_plan::ops::{
 use ic_plan::props::{agg_phase_props, derive_props, LogicalProps};
 use ic_plan::PlannerFlags;
 use ic_storage::{Catalog, TableDistribution};
-use std::collections::{HashMap, HashSet};
+use ic_common::hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// Index of a memo group.
@@ -58,10 +58,10 @@ impl ReqKey {
 
 struct Group {
     exprs: Vec<LExpr>,
-    expr_set: HashSet<LExpr>,
+    expr_set: FxHashSet<LExpr>,
     schema: Schema,
     props: LogicalProps,
-    best: HashMap<ReqKey, Option<Arc<PhysPlan>>>,
+    best: FxHashMap<ReqKey, Option<Arc<PhysPlan>>>,
 }
 
 /// The cost-based planner engine.
@@ -69,8 +69,8 @@ pub struct VolcanoPlanner {
     catalog: Arc<Catalog>,
     ctx: CostContext,
     groups: Vec<Group>,
-    expr_index: HashMap<LExpr, GroupId>,
-    visiting: HashSet<(GroupId, ReqKey)>,
+    expr_index: FxHashMap<LExpr, GroupId>,
+    visiting: FxHashSet<(GroupId, ReqKey)>,
     /// Whether the join-reordering transformation rules are enabled
     /// (§4.3's conditional second physical phase disables them).
     reorder: bool,
@@ -99,8 +99,8 @@ impl VolcanoPlanner {
             catalog,
             ctx: CostContext { flags, sites },
             groups: Vec::new(),
-            expr_index: HashMap::new(),
-            visiting: HashSet::new(),
+            expr_index: FxHashMap::default(),
+            visiting: FxHashSet::default(),
             reorder,
             budget_factor,
             rule_firings: 0,
@@ -176,9 +176,9 @@ impl VolcanoPlanner {
             self.ctx.flags.improved_join_estimation,
         );
         let gid = GroupId(self.groups.len());
-        let mut expr_set = HashSet::new();
+        let mut expr_set = FxHashSet::default();
         expr_set.insert(expr.clone());
-        self.groups.push(Group { exprs: vec![expr.clone()], expr_set, schema, props, best: HashMap::new() });
+        self.groups.push(Group { exprs: vec![expr.clone()], expr_set, schema, props, best: FxHashMap::default() });
         self.expr_index.insert(expr, gid);
         gid
     }
@@ -204,7 +204,7 @@ impl VolcanoPlanner {
         if !self.reorder {
             return Ok(());
         }
-        let mut processed: HashSet<(usize, usize)> = HashSet::new();
+        let mut processed: FxHashSet<(usize, usize)> = FxHashSet::default();
         loop {
             let mut any = false;
             let mut gid = 0;

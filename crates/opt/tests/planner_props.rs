@@ -54,20 +54,18 @@ fn scan(name: &str) -> Arc<LogicalPlan> {
 /// * children of single-distribution operators genuinely satisfy Single.
 fn check_invariants(p: &Arc<PhysPlan>) -> Result<(), String> {
     match &p.op {
-        PhysOp::Sort { input, .. } => {
-            if !matches!(input.dist, Distribution::Single | Distribution::Broadcast) {
-                return Err(format!("Sort over {} input", input.dist));
-            }
+        PhysOp::Sort { input, .. }
+            if !matches!(input.dist, Distribution::Single | Distribution::Broadcast) =>
+        {
+            return Err(format!("Sort over {} input", input.dist));
         }
-        PhysOp::Exchange { to, .. } => {
-            if matches!(to, Distribution::Random) {
-                return Err("exchange to random".into());
-            }
+        PhysOp::Exchange { to: Distribution::Random, .. } => {
+            return Err("exchange to random".into());
         }
-        PhysOp::Limit { input, .. } => {
-            if !satisfies(&input.dist, &DistReq::Exact(Distribution::Single)) {
-                return Err(format!("Limit over {} input", input.dist));
-            }
+        PhysOp::Limit { input, .. }
+            if !satisfies(&input.dist, &DistReq::Exact(Distribution::Single)) =>
+        {
+            return Err(format!("Limit over {} input", input.dist));
         }
         _ => {}
     }
@@ -80,7 +78,7 @@ fn check_invariants(p: &Arc<PhysPlan>) -> Result<(), String> {
 fn arb_tree() -> impl Strategy<Value = Arc<LogicalPlan>> {
     let table = prop_oneof![Just("big"), Just("mid"), Just("tiny")];
     table
-        .prop_map(|t| scan(t))
+        .prop_map(scan)
         .prop_recursive(3, 8, 2, |inner| {
             prop_oneof![
                 // Filter

@@ -22,11 +22,13 @@ pub mod dist;
 pub mod explain;
 pub mod ops;
 pub mod props;
+pub mod validate;
 
 pub use cost::{Cost, CostContext};
 pub use dist::{DistReq, Distribution};
 pub use ops::{AggCall, AggPhase, JoinKind, LogicalPlan, PhysOp, PhysPlan, RelOp, SortKey};
 pub use props::LogicalProps;
+pub use validate::ValidateError;
 
 /// Which of the paper's behaviours are enabled — the switch between the
 /// baseline system (IC), the improved system (IC+), and the improved system

@@ -6,7 +6,7 @@ use crate::table::TableData;
 use ic_common::{IcError, IcResult, Row, Schema};
 use ic_net::{SiteId, Topology};
 use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet};
+use ic_common::hash::{FxHashMap, FxHashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -74,7 +74,7 @@ struct IndexEntry {
 pub struct Catalog {
     topology: Topology,
     tables: RwLock<Vec<TableEntry>>,
-    table_names: RwLock<HashMap<String, TableId>>,
+    table_names: RwLock<FxHashMap<String, TableId>>,
     indexes: RwLock<Vec<IndexEntry>>,
 }
 
@@ -82,9 +82,9 @@ impl Catalog {
     pub fn new(topology: Topology) -> Arc<Catalog> {
         Arc::new(Catalog {
             topology,
-            tables: RwLock::new(Vec::new()),
-            table_names: RwLock::new(HashMap::new()),
-            indexes: RwLock::new(Vec::new()),
+            tables: RwLock::named(Vec::new(), "catalog.tables"),
+            table_names: RwLock::named(FxHashMap::default(), "catalog.table_names"),
+            indexes: RwLock::named(Vec::new(), "catalog.indexes"),
         })
     }
 
@@ -253,7 +253,7 @@ impl Catalog {
 
     /// Resolve `partition` to a live owner, skipping sites in `down`.
     /// `None` when the primary and every backup copy are down.
-    pub fn live_owner(&self, partition: usize, down: &HashSet<SiteId>) -> Option<SiteId> {
+    pub fn live_owner(&self, partition: usize, down: &FxHashSet<SiteId>) -> Option<SiteId> {
         self.partition_owners(partition).into_iter().find(|s| !down.contains(s))
     }
 }
@@ -336,11 +336,11 @@ mod tests {
     fn live_owner_resolution_uses_backups() {
         let cat = Catalog::new(Topology::with_backups(4, 1));
         assert_eq!(cat.partition_owners(2), vec![SiteId(2), SiteId(3)]);
-        let none_down = HashSet::new();
+        let none_down = FxHashSet::default();
         assert_eq!(cat.live_owner(2, &none_down), Some(SiteId(2)));
-        let primary_down: HashSet<SiteId> = [SiteId(2)].into_iter().collect();
+        let primary_down: FxHashSet<SiteId> = [SiteId(2)].into_iter().collect();
         assert_eq!(cat.live_owner(2, &primary_down), Some(SiteId(3)));
-        let both_down: HashSet<SiteId> = [SiteId(2), SiteId(3)].into_iter().collect();
+        let both_down: FxHashSet<SiteId> = [SiteId(2), SiteId(3)].into_iter().collect();
         assert_eq!(cat.live_owner(2, &both_down), None);
     }
 

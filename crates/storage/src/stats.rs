@@ -5,7 +5,7 @@
 
 use crate::table::TableData;
 use ic_common::Datum;
-use std::collections::HashSet;
+use ic_common::hash::FxHashSet;
 
 /// Statistics for one column.
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ impl TableStats {
     /// quantities.
     pub fn compute(data: &TableData) -> TableStats {
         let arity = data.schema().arity();
-        let mut distinct: Vec<HashSet<Datum>> = (0..arity).map(|_| HashSet::new()).collect();
+        let mut distinct: Vec<FxHashSet<Datum>> = (0..arity).map(|_| FxHashSet::default()).collect();
         let mut nulls = vec![0u64; arity];
         let mut mins: Vec<Option<Datum>> = vec![None; arity];
         let mut maxs: Vec<Option<Datum>> = vec![None; arity];

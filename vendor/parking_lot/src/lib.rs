@@ -2,70 +2,331 @@
 //! workspace: `Mutex::lock`, `RwLock::read`/`write`, none of which return
 //! poison results. Backed by `std::sync` with poison recovery so a panicking
 //! holder does not wedge the cluster threads that share the lock.
+//!
+//! Debug builds additionally run a **lock-order detector**: every thread
+//! tracks its currently-held guards, each acquisition while other locks are
+//! held records `held -> acquired` edges in a process-global acquisition
+//! graph, and an acquisition that would close a cycle (the classic ABBA
+//! inversion) panics immediately with both locks' names — turning a
+//! probabilistic deadlock hang into a deterministic test failure. Lock
+//! identity is per-instance (lazily assigned ids), so independent instances
+//! never alias; use [`Mutex::named`] / [`RwLock::named`] to get readable
+//! names in the panic message. Release builds compile all of this away.
 
 use std::sync::{self, PoisonError};
 
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[cfg(debug_assertions)]
+mod order {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// Per-lock-instance identity for the order detector.
+    #[derive(Debug)]
+    pub struct LockMeta {
+        name: Option<&'static str>,
+        /// Lazily-assigned unique id; 0 = not yet acquired.
+        id: AtomicUsize,
+    }
+
+    impl LockMeta {
+        pub const fn new(name: Option<&'static str>) -> LockMeta {
+            LockMeta { name, id: AtomicUsize::new(0) }
+        }
+    }
+
+    impl Default for LockMeta {
+        fn default() -> LockMeta {
+            LockMeta::new(None)
+        }
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `from -> to` acquisition orders observed so far.
+        edges: HashMap<usize, Vec<usize>>,
+        /// Diagnostic names for named locks.
+        names: HashMap<usize, &'static str>,
+    }
+
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+
+    fn graph() -> &'static StdMutex<Graph> {
+        GRAPH.get_or_init(StdMutex::default)
+    }
+
+    thread_local! {
+        /// Lock ids this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII record of one held lock; dropping pops it from the thread's
+    /// held set.
+    pub struct HeldToken {
+        id: usize,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut v = h.borrow_mut();
+                if let Some(pos) = v.iter().rposition(|&x| x == self.id) {
+                    v.remove(pos);
+                }
+            });
+        }
+    }
+
+    fn id_of(meta: &LockMeta) -> usize {
+        let id = meta.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match meta.id.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                if let Some(name) = meta.name {
+                    let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+                    g.names.insert(fresh, name);
+                }
+                fresh
+            }
+            Err(existing) => existing,
+        }
+    }
+
+    /// Is `to` reachable from `from` in the acquisition graph?
+    fn reaches(g: &Graph, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(nexts) = g.edges.get(&n) {
+                for &nx in nexts {
+                    if !seen.contains(&nx) {
+                        seen.push(nx);
+                        stack.push(nx);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn display(g: &Graph, id: usize) -> String {
+        match g.names.get(&id) {
+            Some(n) => format!("'{n}'"),
+            None => format!("lock#{id}"),
+        }
+    }
+
+    /// Record an acquisition: check for an order inversion against every
+    /// lock this thread already holds, add the new edges, and push the lock
+    /// onto the thread's held set.
+    pub fn acquire(meta: &LockMeta) -> HeldToken {
+        let id = id_of(meta);
+        let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+        if !held.is_empty() {
+            let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in &held {
+                if h == id {
+                    continue; // reentrant same-instance (shared read locks)
+                }
+                if reaches(&g, id, h) {
+                    let a = display(&g, h);
+                    let b = display(&g, id);
+                    drop(g);
+                    panic!(
+                        "lock-order inversion: acquiring {b} while holding {a}, but {b} -> {a} \
+                         was already observed on another path; this is a potential ABBA deadlock"
+                    );
+                }
+                let tos = g.edges.entry(h).or_default();
+                if !tos.contains(&id) {
+                    tos.push(id);
+                }
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(id));
+        HeldToken { id }
+    }
+}
+
+#[cfg(debug_assertions)]
+use order::LockMeta;
+
+/// RAII guard for [`Mutex`]; releases the lock (and, in debug builds, pops
+/// the thread's held-lock record) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+macro_rules! impl_guard_deref {
+    ($guard:ident) => {
+        impl<T: ?Sized> std::ops::Deref for $guard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.guard
+            }
+        }
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for $guard<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+    };
+}
+
+impl_guard_deref!(MutexGuard);
+impl_guard_deref!(RwLockReadGuard);
+impl_guard_deref!(RwLockWriteGuard);
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
 
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    meta: LockMeta,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            meta: LockMeta::new(None),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// A mutex with a diagnostic name shown by the debug-build lock-order
+    /// detector when it reports an inversion.
+    pub const fn named(value: T, name: &'static str) -> Self {
+        let _ = name;
+        Mutex {
+            #[cfg(debug_assertions)]
+            meta: LockMeta::new(Some(name)),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let token = order::acquire(&self.meta);
+        MutexGuard {
+            guard: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _token: token,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    meta: LockMeta,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            meta: LockMeta::new(None),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// An rwlock with a diagnostic name shown by the debug-build lock-order
+    /// detector when it reports an inversion.
+    pub const fn named(value: T, name: &'static str) -> Self {
+        let _ = name;
+        RwLock {
+            #[cfg(debug_assertions)]
+            meta: LockMeta::new(Some(name)),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let token = order::acquire(&self.meta);
+        RwLockReadGuard {
+            guard: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _token: token,
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let token = order::acquire(&self.meta);
+        RwLockWriteGuard {
+            guard: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _token: token,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_survives_poison() {
-        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m = Arc::new(Mutex::new(0u32));
         let m2 = m.clone();
         let _ = std::thread::spawn(move || {
             let _g = m2.lock();
@@ -81,5 +342,105 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn consistent_lock_order_is_fine() {
+        let a = Arc::new(Mutex::named(1u32, "order-test-a"));
+        let b = Arc::new(Mutex::named(2u32, "order-test-b"));
+        for _ in 0..3 {
+            let (a2, b2) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                let ga = a2.lock();
+                let gb = b2.lock();
+                assert_eq!(*ga + *gb, 3);
+            })
+            .join()
+            .expect("consistent order must not trip the detector");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn abba_inversion_panics_with_both_names() {
+        let a = Arc::new(Mutex::named(0u32, "inversion-a"));
+        let b = Arc::new(Mutex::named(0u32, "inversion-b"));
+        // Establish a -> b on one thread (sequentially: no real deadlock).
+        {
+            let (a2, b2) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        // The reverse order must panic deterministically.
+        let err = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join()
+        .expect_err("inversion must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("inversion-a"), "{msg}");
+        assert!(msg.contains("inversion-b"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_inversion_detected() {
+        let a = Arc::new(Mutex::named(0u32, "chain-a"));
+        let b = Arc::new(Mutex::named(0u32, "chain-b"));
+        let c = Arc::new(Mutex::named(0u32, "chain-c"));
+        // a -> b, then b -> c.
+        {
+            let (a2, b2) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            })
+            .join()
+            .unwrap();
+            let (b2, c2) = (b.clone(), c.clone());
+            std::thread::spawn(move || {
+                let _gb = b2.lock();
+                let _gc = c2.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        // c -> a closes a 3-cycle through the graph.
+        let err = std::thread::spawn(move || {
+            let _gc = c.lock();
+            let _ga = a.lock();
+        })
+        .join()
+        .expect_err("transitive inversion must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn distinct_instances_do_not_alias() {
+        // Two unrelated pairs locked in opposite per-pair orders: fine,
+        // because identity is per-instance.
+        let p1 = (Arc::new(Mutex::new(0u32)), Arc::new(Mutex::new(0u32)));
+        let _g1 = p1.0.lock();
+        let _g2 = p1.1.lock();
+        drop((_g1, _g2));
+        let p2 = (Arc::new(Mutex::new(0u32)), Arc::new(Mutex::new(0u32)));
+        let _g3 = p2.1.lock();
+        let _g4 = p2.0.lock();
     }
 }
