@@ -1,0 +1,344 @@
+//! Overload benchmark: drive the cluster with a client-count sweep up to
+//! 4× the admission ceiling and measure what the governor does with the
+//! excess — goodput (completed queries/s), shed rate, tail latency, and
+//! queue wait — plus the "no budget leaked" pool invariant after every
+//! point.
+//!
+//! Each sweep point builds a fresh governed cluster (so governor counters
+//! are per-point), spawns that many client threads submitting a mix of a
+//! buffering self-join and a streaming count back-to-back for the time
+//! budget, and classifies every outcome: completed, shed
+//! ([`IcError::Overloaded`] — the client backs off by the returned hint,
+//! capped), revoked ([`IcError::ResourcesRevoked`]), or failed otherwise.
+//!
+//! Knobs: `IC_BENCH_OVERLOAD_SECS` (per-point seconds, default 2),
+//! `IC_BENCH_OVERLOAD_ROWS` (table rows, default 2000),
+//! `IC_BENCH_OVERLOAD_SLOTS` (admission slots, default 8),
+//! `IC_BENCH_OVERLOAD_CLIENTS` (comma list, default scales to 4× slots),
+//! `IC_BENCH_STRICT=1` additionally asserts saturated goodput lands
+//! within 10% of the admission ceiling projected from the governor's own
+//! EWMA service time. `--smoke` runs one small shedding-heavy point and
+//! asserts the governor invariants (nonzero shed, zero pool balance,
+//! bounded concurrency). Writes `BENCH_overload.json`.
+
+use ic_common::LEASE_CHUNK_CELLS;
+use ic_core::{Cluster, ClusterConfig, Datum, GovernorConfig, IcError, Row, SystemVariant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HEAVY_SQL: &str = "SELECT count(*) FROM t x, t y WHERE x.b = y.b";
+const LIGHT_SQL: &str = "SELECT count(*) FROM t";
+const GROUPS: i64 = 50;
+/// Cap on how long a shed client honours the governor's retry hint, so a
+/// hard-overloaded point still probes admission often enough to measure.
+const MAX_BACKOFF: Duration = Duration::from_millis(10);
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[derive(Debug, Clone)]
+struct SweepConfig {
+    rows: i64,
+    slots: usize,
+    duration: Duration,
+    pool_chunks: u64,
+}
+
+/// Outcome of one sweep point.
+#[derive(Debug)]
+struct Point {
+    clients: usize,
+    completed: usize,
+    shed: usize,
+    revoked: usize,
+    failed: usize,
+    goodput_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_queue_wait_ms: f64,
+    peak_concurrent: usize,
+    pool_in_use: u64,
+    active_leases: usize,
+    ceiling_qps: f64,
+}
+
+fn governed_cluster(cfg: &SweepConfig) -> Arc<Cluster> {
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        variant: SystemVariant::ICPlus,
+        exec_timeout: Some(Duration::from_secs(30)),
+        governor: GovernorConfig {
+            pool_budget_cells: cfg.pool_chunks * LEASE_CHUNK_CELLS,
+            max_concurrent: cfg.slots,
+            max_queue: cfg.slots,
+            grant_timeout: Duration::from_millis(200),
+        },
+        ..ClusterConfig::default()
+    }));
+    cluster
+        .run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+        .expect("create table");
+    let rows: Vec<Row> =
+        (0..cfg.rows).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % GROUPS)])).collect();
+    cluster.insert("t", rows).expect("load rows");
+    cluster.analyze_all().expect("analyze");
+    cluster
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
+    let cluster = governed_cluster(cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut latencies: Vec<Duration> = Vec::new();
+            let mut queue_waits: Vec<Duration> = Vec::new();
+            let (mut shed, mut revoked, mut failed) = (0usize, 0usize, 0usize);
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // 1-in-3 heavy keeps the pool under pressure without the
+                // sweep point degenerating into a single giant query.
+                let sql = if (client + i).is_multiple_of(3) { HEAVY_SQL } else { LIGHT_SQL };
+                i += 1;
+                let t0 = Instant::now();
+                match cluster.query_as(client as u64, sql) {
+                    Ok(r) => {
+                        latencies.push(t0.elapsed());
+                        queue_waits.push(r.stats.queue_wait);
+                    }
+                    Err(IcError::Overloaded { retry_after_ms }) => {
+                        shed += 1;
+                        std::thread::sleep(
+                            Duration::from_millis(retry_after_ms).min(MAX_BACKOFF),
+                        );
+                    }
+                    Err(IcError::ResourcesRevoked { .. }) => revoked += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            (latencies, queue_waits, shed, revoked, failed)
+        }));
+    }
+    let started = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut queue_waits: Vec<Duration> = Vec::new();
+    let (mut shed, mut revoked, mut failed) = (0usize, 0usize, 0usize);
+    for h in handles {
+        let (lat, qw, s, r, f) = h.join().expect("client thread panicked");
+        latencies.extend(lat);
+        queue_waits.extend(qw);
+        shed += s;
+        revoked += r;
+        failed += f;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let mean_queue_wait_ms = if queue_waits.is_empty() {
+        0.0
+    } else {
+        queue_waits.iter().sum::<Duration>().as_secs_f64() * 1e3 / queue_waits.len() as f64
+    };
+    let stats = cluster.governor().stats();
+    // What admission alone would allow: `slots` queries in flight, each
+    // taking the governor's own EWMA service-time estimate.
+    let ceiling_qps = if stats.ewma_service_us > 0 {
+        cfg.slots as f64 * 1e6 / stats.ewma_service_us as f64
+    } else {
+        0.0
+    };
+    Point {
+        clients,
+        completed: latencies.len(),
+        shed,
+        revoked,
+        failed,
+        goodput_qps: latencies.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_queue_wait_ms,
+        peak_concurrent: stats.peak_concurrent,
+        pool_in_use: stats.pool_in_use,
+        active_leases: cluster.governor().pool().active_leases(),
+        ceiling_qps,
+    }
+}
+
+fn write_json(cfg: &SweepConfig, points: &[Point]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"rows\": {}, \"slots\": {}, \"secs_per_point\": {:.3}, \"pool_chunks\": {},\n  \"points\": [\n",
+        cfg.rows,
+        cfg.slots,
+        cfg.duration.as_secs_f64(),
+        cfg.pool_chunks
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"completed\": {}, \"shed\": {}, \"revoked\": {}, \"failed\": {}, \
+\"goodput_qps\": {:.2}, \"ceiling_qps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+\"mean_queue_wait_ms\": {:.3}, \"peak_concurrent\": {}}}{}\n",
+            p.clients,
+            p.completed,
+            p.shed,
+            p.revoked,
+            p.failed,
+            p.goodput_qps,
+            p.ceiling_qps,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_queue_wait_ms,
+            p.peak_concurrent,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json");
+}
+
+/// Invariants every point must satisfy regardless of load: admission
+/// bounds concurrency, and the pool balances back to zero.
+fn assert_invariants(p: &Point, slots: usize) {
+    assert!(
+        p.peak_concurrent <= slots,
+        "admission ceiling violated at {} clients: {} concurrent > {} slots",
+        p.clients,
+        p.peak_concurrent,
+        slots
+    );
+    assert_eq!(
+        p.pool_in_use, 0,
+        "pool leaked {} cells after the {}-client point",
+        p.pool_in_use, p.clients
+    );
+    assert_eq!(
+        p.active_leases, 0,
+        "{} leases left behind after the {}-client point",
+        p.active_leases, p.clients
+    );
+    assert_eq!(p.failed, 0, "non-governor failures at {} clients", p.clients);
+}
+
+fn smoke() {
+    // One deliberately under-provisioned point: 2 slots, a 1-deep queue,
+    // 8 clients — most submissions must be shed, and the pool must still
+    // balance to zero.
+    let cfg = SweepConfig {
+        rows: 500,
+        slots: 2,
+        duration: Duration::from_millis(1500),
+        pool_chunks: 8,
+    };
+    println!("== overload --smoke: 8 clients vs {} slots ==", cfg.slots);
+    let p = run_point(&cfg, 8);
+    println!(
+        "completed {} shed {} revoked {} failed {} goodput {:.1} qps peak_concurrent {}",
+        p.completed, p.shed, p.revoked, p.failed, p.goodput_qps, p.peak_concurrent
+    );
+    assert_invariants(&p, cfg.slots);
+    assert!(p.completed > 0, "smoke completed no queries");
+    assert!(p.shed > 0, "8 clients vs 2 slots shed nothing — admission control inert");
+    println!("smoke OK: shedding active, zero pool leak, concurrency bounded");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let slots = env_u64("IC_BENCH_OVERLOAD_SLOTS", 8) as usize;
+    let cfg = SweepConfig {
+        rows: env_u64("IC_BENCH_OVERLOAD_ROWS", 2000) as i64,
+        slots,
+        duration: Duration::from_secs_f64(env_u64("IC_BENCH_OVERLOAD_SECS", 2) as f64),
+        pool_chunks: env_u64("IC_BENCH_OVERLOAD_POOL_CHUNKS", 4 * 8),
+    };
+    let clients: Vec<usize> = std::env::var("IC_BENCH_OVERLOAD_CLIENTS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|| {
+            // 1× … 4× the admission ceiling, the paper-style doubling sweep.
+            vec![slots / 4, slots / 2, slots, 2 * slots, 4 * slots]
+                .into_iter()
+                .filter(|&c| c >= 1)
+                .collect()
+        });
+
+    println!(
+        "== overload sweep: {} rows, {} slots, {:?}/point, clients {:?} ==\n",
+        cfg.rows, cfg.slots, cfg.duration, clients
+    );
+    println!(
+        "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "clients",
+        "completed",
+        "shed",
+        "revoked",
+        "failed",
+        "goodput q/s",
+        "ceiling q/s",
+        "p50 ms",
+        "p99 ms",
+        "queue ms"
+    );
+    let mut points = Vec::new();
+    for &c in &clients {
+        let p = run_point(&cfg, c);
+        println!(
+            "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2}",
+            p.clients,
+            p.completed,
+            p.shed,
+            p.revoked,
+            p.failed,
+            p.goodput_qps,
+            p.ceiling_qps,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_queue_wait_ms
+        );
+        assert_invariants(&p, cfg.slots);
+        points.push(p);
+    }
+
+    // Overload-specific checks at the deepest point of the sweep: shedding
+    // must be active, and goodput should hold near the admission ceiling
+    // rather than collapsing (the whole reason to shed).
+    if let Some(last) = points.last() {
+        if last.clients >= 2 * cfg.slots {
+            assert!(
+                last.shed > 0,
+                "{}x overload shed nothing — admission control inert",
+                last.clients / cfg.slots
+            );
+            let ratio = if last.ceiling_qps > 0.0 { last.goodput_qps / last.ceiling_qps } else { 1.0 };
+            println!(
+                "\nsaturated goodput is {:.0}% of the projected admission ceiling",
+                ratio * 100.0
+            );
+            if env_u64("IC_BENCH_STRICT", 0) == 1 {
+                assert!(
+                    ratio >= 0.9,
+                    "goodput {:.1} qps fell more than 10% below the admission ceiling {:.1} qps",
+                    last.goodput_qps,
+                    last.ceiling_qps
+                );
+            }
+        }
+    }
+    write_json(&cfg, &points);
+}

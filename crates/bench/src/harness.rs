@@ -45,6 +45,12 @@ pub enum MeasureOutcome {
     MemoryLimit,
     /// Feature unsupported (Q15 views, Q20).
     Unsupported(String),
+    /// Shed by admission control ([`IcError::Overloaded`]) — retryable;
+    /// single-stream harness runs should never see this.
+    Shed,
+    /// Memory lease revoked under cluster pressure
+    /// ([`IcError::ResourcesRevoked`]) — retryable.
+    Revoked,
     /// Any other error.
     Error(String),
 }
@@ -64,6 +70,8 @@ impl MeasureOutcome {
             MeasureOutcome::Timeout => "TIMEOUT".into(),
             MeasureOutcome::MemoryLimit => "MEM-LIMIT".into(),
             MeasureOutcome::Unsupported(_) => "UNSUPPORTED".into(),
+            MeasureOutcome::Shed => "SHED".into(),
+            MeasureOutcome::Revoked => "REVOKED".into(),
             MeasureOutcome::Error(e) => format!("ERROR({e})"),
         }
     }
@@ -101,6 +109,8 @@ fn classify(e: IcError) -> MeasureOutcome {
         IcError::ExecTimeout { .. } => MeasureOutcome::Timeout,
         IcError::MemoryLimit { .. } => MeasureOutcome::MemoryLimit,
         IcError::Unsupported(m) => MeasureOutcome::Unsupported(m),
+        IcError::Overloaded { .. } => MeasureOutcome::Shed,
+        IcError::ResourcesRevoked { .. } => MeasureOutcome::Revoked,
         e if e.is_planner_failure() => MeasureOutcome::PlanFailure(e.to_string()),
         other => MeasureOutcome::Error(other.to_string()),
     }

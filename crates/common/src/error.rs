@@ -40,6 +40,17 @@ pub enum IcError {
     /// against the surviving topology (backup partition owners substituted
     /// for dead sites) and tries again.
     SiteUnavailable { site: usize, detail: String },
+    /// The admission controller shed this query: the wait queue is full or
+    /// the deadline cannot be met at the current load. Retryable by the
+    /// *client* after `retry_after_ms` — the coordinator's failover loop
+    /// deliberately does not retry it (that would defeat the shedding).
+    Overloaded { retry_after_ms: u64 },
+    /// The cluster memory governor revoked this query's lease under
+    /// pressure (it held the largest grant when another query could not be
+    /// served). `lease_cells` is the grant reclaimed. Retryable by the
+    /// client once the pressure subsides; never retried by the failover
+    /// loop, so a revoked query frees its budget immediately.
+    ResourcesRevoked { lease_cells: u64 },
     /// The bounded failover loop gave up: every attempt failed with a
     /// retryable error. `chain` records each attempt's failure in order.
     RetriesExhausted { attempts: u32, chain: Vec<String> },
@@ -71,6 +82,15 @@ impl fmt::Display for IcError {
             IcError::SiteUnavailable { site, detail } => {
                 write!(f, "site{site} unavailable: {detail}")
             }
+            IcError::Overloaded { retry_after_ms } => {
+                write!(f, "cluster overloaded: query shed by admission control, retry after {retry_after_ms} ms")
+            }
+            IcError::ResourcesRevoked { lease_cells } => {
+                write!(
+                    f,
+                    "memory lease revoked under cluster pressure ({lease_cells} buffered cells reclaimed); retry later"
+                )
+            }
             IcError::RetriesExhausted { attempts, chain } => {
                 write!(f, "failover exhausted after {attempts} attempt(s): ")?;
                 write!(f, "{}", chain.join(" -> "))
@@ -93,9 +113,25 @@ impl IcError {
         )
     }
 
-    /// True when retrying the query against the surviving topology may
-    /// succeed (the coordinator's failover loop keys on this).
+    /// True when the *client* may usefully resubmit the query: the failure
+    /// was transient (a dead site, admission-control shedding, or a revoked
+    /// memory lease) rather than a property of the query itself.
     pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            IcError::SiteUnavailable { .. }
+                | IcError::Overloaded { .. }
+                | IcError::ResourcesRevoked { .. }
+        )
+    }
+
+    /// True when the coordinator's *internal* failover loop should replan
+    /// and retry. Strictly narrower than [`is_retryable`](Self::is_retryable):
+    /// shed ([`Overloaded`](IcError::Overloaded)) and revoked
+    /// ([`ResourcesRevoked`](IcError::ResourcesRevoked)) queries must exit
+    /// the cluster immediately — retrying them in-process would hold their
+    /// admission slot and defeat the governor's back-pressure.
+    pub fn is_failover_retryable(&self) -> bool {
         matches!(self, IcError::SiteUnavailable { .. })
     }
 }
@@ -125,7 +161,16 @@ mod tests {
     fn retryable_classification() {
         let site = IcError::SiteUnavailable { site: 2, detail: "crashed".into() };
         assert!(site.is_retryable());
+        assert!(site.is_failover_retryable());
         assert!(site.to_string().contains("site2"));
+        let shed = IcError::Overloaded { retry_after_ms: 25 };
+        assert!(shed.is_retryable());
+        assert!(!shed.is_failover_retryable());
+        assert!(shed.to_string().contains("25 ms"));
+        let revoked = IcError::ResourcesRevoked { lease_cells: 4096 };
+        assert!(revoked.is_retryable());
+        assert!(!revoked.is_failover_retryable());
+        assert!(revoked.to_string().contains("4096"));
         assert!(!IcError::Exec("boom".into()).is_retryable());
         assert!(!IcError::Internal("bad state".into()).is_retryable());
         assert!(IcError::Internal("bad state".into()).to_string().contains("internal"));

@@ -15,6 +15,7 @@ pub mod dates;
 pub mod error;
 pub mod expr;
 pub mod hash;
+pub mod lease;
 pub mod row;
 pub mod schema;
 
@@ -22,5 +23,6 @@ pub use datum::{DataType, Datum};
 pub use error::{IcError, IcResult};
 pub use expr::{BinOp, Expr, FuncKind};
 pub use hash::{FlatMap, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use lease::{MemoryLease, MemoryPool, LEASE_CHUNK_CELLS};
 pub use row::{Batch, Row};
 pub use schema::{Field, Schema};

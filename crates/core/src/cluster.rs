@@ -1,6 +1,7 @@
 //! The cluster facade: configuration, DDL, data loading and SQL execution
 //! (Figure 6's end-to-end flow).
 
+use crate::governor::{Governor, GovernorConfig};
 use crate::result::QueryResult;
 use ic_common::{IcError, IcResult, Row, Schema};
 use ic_exec::{execute_plan, ExecOptions};
@@ -71,6 +72,9 @@ pub struct ClusterConfig {
     pub max_retries: u32,
     /// Base backoff between failover retries (doubles per attempt).
     pub retry_backoff: Duration,
+    /// Resource-governor sizing: admission slots, wait-queue bound, and
+    /// the shared memory-pool budget all queries lease from.
+    pub governor: GovernorConfig,
 }
 
 impl Default for ClusterConfig {
@@ -85,6 +89,7 @@ impl Default for ClusterConfig {
             backups: 0,
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -102,6 +107,7 @@ impl ClusterConfig {
             backups: 0,
             max_retries: 2,
             retry_backoff: Duration::from_millis(1),
+            governor: GovernorConfig::test_default(),
         }
     }
 }
@@ -114,6 +120,7 @@ pub struct Cluster {
     flags: PlannerFlags,
     catalog: Arc<Catalog>,
     network: Arc<Network>,
+    governor: Arc<Governor>,
 }
 
 impl Cluster {
@@ -124,13 +131,16 @@ impl Cluster {
         }
         let catalog = Catalog::new(Topology::with_backups(config.sites, config.backups));
         let network = Network::new(config.network.clone());
-        Cluster { config, flags, catalog, network }
+        let governor = Governor::new(config.governor.clone());
+        Cluster { config, flags, catalog, network, governor }
     }
 
     /// A cluster sharing this one's data but running as a different system
     /// variant — how the harness compares IC / IC+ / IC+M on identical
     /// data without reloading. The new cluster gets a *fresh* network:
-    /// fault schedules and liveness state do not carry over.
+    /// fault schedules and liveness state do not carry over. The resource
+    /// governor *is* shared: all variants are sessions against the same
+    /// simulated hardware, so they contend for the same slots and pool.
     pub fn with_variant(&self, variant: SystemVariant) -> Cluster {
         let mut config = self.config.clone();
         config.variant = variant;
@@ -143,7 +153,13 @@ impl Cluster {
             flags,
             catalog: self.catalog.clone(),
             network: Network::new(self.config.network.clone()),
+            governor: self.governor.clone(),
         }
+    }
+
+    /// The cluster's resource governor (admission control + memory pool).
+    pub fn governor(&self) -> &Arc<Governor> {
+        &self.governor
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -289,23 +305,47 @@ impl Cluster {
     /// Execute a SELECT query end-to-end. `EXPLAIN SELECT …` returns the
     /// optimized physical plan as a single-column result.
     ///
-    /// Retryable failures ([`IcError::SiteUnavailable`]: a site crashed or
-    /// a link dropped an exchange message mid-run) are retried up to
-    /// `max_retries` times with exponential backoff; each retry replans
-    /// the query against the surviving topology, substituting backup
-    /// partition owners for dead sites. When every attempt fails
+    /// The query first passes admission control (see [`Cluster::query_as`]
+    /// for the per-client form); it may be shed with the client-retryable
+    /// [`IcError::Overloaded`], and its memory lease may be revoked under
+    /// pool pressure ([`IcError::ResourcesRevoked`]).
+    ///
+    /// Failover-retryable failures ([`IcError::SiteUnavailable`]: a site
+    /// crashed or a link dropped an exchange message mid-run) are retried
+    /// up to `max_retries` times with exponential backoff; each retry
+    /// replans the query against the surviving topology, substituting
+    /// backup partition owners for dead sites. When every attempt fails
     /// retryably, the whole failure chain surfaces as
     /// [`IcError::RetriesExhausted`].
     pub fn query(&self, sql: &str) -> IcResult<QueryResult> {
+        self.query_as(0, sql)
+    }
+
+    /// [`Cluster::query`] on behalf of a specific client (the governor's
+    /// fair-share unit — one id per AQL terminal/session).
+    pub fn query_as(&self, client: u64, sql: &str) -> IcResult<QueryResult> {
+        // Admission deadline = this query's wall-clock budget; a query
+        // whose budget would elapse in the queue is shed, not started.
+        let deadline = self.config.exec_timeout.map(|t| Instant::now() + t);
+        // The admission slot is held across the *whole* failover loop:
+        // replans are the same query, not new work, so they never
+        // re-enter the queue — and each attempt opens a fresh pool lease,
+        // so buffer budget is never double-counted across replans.
+        let admission = self.governor.admit(client, deadline)?;
         let mut chain: Vec<String> = Vec::new();
         let mut attempt: u32 = 0;
         loop {
             match self.query_attempt(sql) {
                 Ok(mut result) => {
                     result.retries = attempt;
+                    result.stats.retries = attempt;
+                    result.stats.queue_wait = admission.queue_wait();
                     return Ok(result);
                 }
-                Err(e) if e.is_retryable() => {
+                // Only site faults re-enter the loop. Shed/revoked queries
+                // must exit immediately and release their slot — retrying
+                // them here would defeat the governor's back-pressure.
+                Err(e) if e.is_failover_retryable() => {
                     chain.push(e.to_string());
                     if attempt >= self.config.max_retries {
                         return Err(IcError::RetriesExhausted { attempts: attempt + 1, chain });
@@ -356,6 +396,7 @@ impl Cluster {
             variant_fragments: self.flags.variant_fragments,
             timeout: self.config.exec_timeout,
             memory_limit_rows: self.config.memory_limit_rows,
+            pool: Some(self.governor.pool().clone()),
             ..ExecOptions::default()
         };
         let (rows, stats) = execute_plan(&optimized.plan, &self.catalog, &self.network, &opts)?;

@@ -40,10 +40,12 @@
 //! ```
 
 pub mod cluster;
+pub mod governor;
 pub mod result;
 
 pub use cluster::{Cluster, ClusterConfig, SystemVariant};
-pub use ic_common::{Datum, IcError, IcResult, Row};
+pub use governor::{Admission, Governor, GovernorConfig, GovernorStats};
+pub use ic_common::{Datum, IcError, IcResult, MemoryLease, MemoryPool, Row};
 pub use ic_net::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, Liveness, NetworkConfig, SiteId, SiteState,
     TICK_FOREVER,

@@ -1,0 +1,150 @@
+//! Property tests for the resource governor: across randomized pool
+//! budgets, client counts, and workload interleavings, an
+//! admitted-then-revoked (or shed) query always surfaces a retryable
+//! error and never a wrong result, and the shared memory pool always
+//! balances back to zero.
+
+use ic_common::{Datum, MemoryPool, LEASE_CHUNK_CELLS};
+use ic_core::{Cluster, ClusterConfig, GovernorConfig, IcError, Row};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const ROWS: i64 = 600;
+const GROUPS: i64 = 20;
+
+/// The self-join count has a closed form: each of the `GROUPS` residue
+/// classes of size `ROWS / GROUPS` contributes `size²` matches.
+fn expected_heavy_count() -> i64 {
+    let size = ROWS / GROUPS;
+    GROUPS * size * size
+}
+
+fn governed_cluster(pool_chunks: u64, max_concurrent: usize, max_queue: usize) -> Cluster {
+    let cluster = Cluster::new(ClusterConfig {
+        exec_timeout: Some(Duration::from_secs(30)),
+        governor: GovernorConfig {
+            pool_budget_cells: pool_chunks * LEASE_CHUNK_CELLS,
+            max_concurrent,
+            max_queue,
+            grant_timeout: Duration::from_millis(25),
+        },
+        ..ClusterConfig::test_default()
+    });
+    cluster.run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))").unwrap();
+    let rows: Vec<Row> =
+        (0..ROWS).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % GROUPS)])).collect();
+    cluster.insert("t", rows).unwrap();
+    cluster.analyze_all().unwrap();
+    cluster
+}
+
+proptest! {
+    // Each case spins up a cluster and client threads; keep counts small.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Concurrent clients against arbitrary (often starving) pool budgets:
+    /// every Ok is the exact right answer, every Err is client-retryable
+    /// or a terminal resource/timeout classification — never a wrong
+    /// result, never an unclassified failure — and the pool balances to
+    /// zero with no lease left behind.
+    #[test]
+    fn revoked_or_shed_queries_fail_retryably_never_wrongly(
+        pool_chunks in 1u64..24,
+        clients in 2usize..5,
+        queries_per_client in 1usize..4,
+    ) {
+        let cluster = Arc::new(governed_cluster(pool_chunks, clients, 1));
+        let heavy = "SELECT count(*) FROM t x, t y WHERE x.b = y.b";
+        let light = "SELECT count(*) FROM t";
+        let handles: Vec<_> = (0..clients).map(|client| {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for i in 0..queries_per_client {
+                    let (sql, expect) = if (client + i) % 2 == 0 {
+                        (heavy, expected_heavy_count())
+                    } else {
+                        (light, ROWS)
+                    };
+                    outcomes.push((cluster.query_as(client as u64, sql), expect));
+                }
+                outcomes
+            })
+        }).collect();
+
+        for h in handles {
+            for (outcome, expect) in h.join().expect("client thread panicked") {
+                match outcome {
+                    Ok(r) => {
+                        // An admitted query either finishes with the exact
+                        // answer or fails — revocation must never corrupt it.
+                        prop_assert_eq!(r.rows.len(), 1);
+                        prop_assert_eq!(r.rows[0].0[0].as_int(), Some(expect));
+                    }
+                    Err(e) => {
+                        let acceptable = e.is_retryable()
+                            || matches!(
+                                e,
+                                IcError::MemoryLimit { .. }
+                                    | IcError::ExecTimeout { .. }
+                                    | IcError::RetriesExhausted { .. }
+                            );
+                        prop_assert!(acceptable, "unexpected failure class: {}", e);
+                        if matches!(e, IcError::ResourcesRevoked { .. } | IcError::Overloaded { .. }) {
+                            prop_assert!(e.is_retryable());
+                            prop_assert!(!e.is_failover_retryable());
+                        }
+                    }
+                }
+            }
+        }
+        let stats = cluster.governor().stats();
+        prop_assert_eq!(stats.pool_in_use, 0, "pool leaked budget: {:?}", stats);
+        prop_assert_eq!(cluster.governor().pool().active_leases(), 0);
+        prop_assert!(stats.peak_pool_used <= stats.pool_capacity);
+        prop_assert!(stats.peak_concurrent <= clients);
+    }
+
+    /// Pool-level invariant under arbitrary interleavings: capacity is
+    /// never exceeded, every revoked lease's error is retryable, and all
+    /// grants return on drop.
+    #[test]
+    fn pool_never_exceeds_capacity_and_balances(
+        capacity_chunks in 1u64..12,
+        workers in 1usize..6,
+        reserves in 1usize..8,
+    ) {
+        let pool = MemoryPool::with_grant_timeout(
+            capacity_chunks * LEASE_CHUNK_CELLS,
+            Duration::from_millis(10),
+        );
+        let handles: Vec<_> = (0..workers).map(|w| {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                for r in 0..reserves {
+                    let lease = pool.lease(u64::MAX);
+                    // Vary sizes per worker/round to explore interleavings.
+                    let cells = ((w + r) as u64 % 3 + 1) * LEASE_CHUNK_CELLS / 2;
+                    match lease.reserve(cells) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            assert!(
+                                e.is_retryable() || matches!(e, IcError::MemoryLimit { .. }),
+                                "unexpected reserve failure: {e}"
+                            );
+                        }
+                    }
+                    assert!(pool.in_use() <= pool.capacity(), "pool over-granted");
+                }
+            })
+        }).collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+        prop_assert_eq!(pool.in_use(), 0);
+        prop_assert_eq!(pool.active_leases(), 0);
+        prop_assert!(pool.peak_used() <= pool.capacity());
+    }
+}

@@ -4,28 +4,25 @@
 use crate::kernels::{GroupTable, JoinHashTable};
 use ic_common::agg::Accumulator;
 use ic_common::row::BATCH_SIZE;
-use ic_common::{Batch, Datum, Expr, IcError, IcResult, Row};
+use ic_common::{Batch, Datum, Expr, IcError, IcResult, MemoryLease, MemoryPool, Row};
 use ic_plan::ops::{AggCall, AggPhase, JoinKind, SortKey};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared per-query control: wall-clock deadline (the paper's runtime
-/// limit) and a cancellation flag set when any fragment fails.
+/// limit), a cancellation flag set when any fragment fails, and the
+/// query's [`MemoryLease`] on the cluster's shared pool. All buffered
+/// operator state is accounted through the lease — never through a
+/// private counter (ic-lint rule L006).
 #[derive(Debug)]
 pub struct ControlBlock {
     pub deadline: Option<Instant>,
     pub cancelled: AtomicBool,
     pub limit_ms: u64,
-    /// Cells (rows × columns) currently buffered by blocking operators
-    /// across the whole query (join builds, sorts, aggregates). Exceeding
-    /// `memory_limit_rows` aborts with [`IcError::MemoryLimit`] — the
-    /// graceful version of Ignite hitting its resource limits on a bad
-    /// plan.
-    pub buffered_rows: AtomicU64,
-    pub memory_limit_rows: u64,
+    lease: MemoryLease,
 }
 
 impl ControlBlock {
@@ -33,17 +30,28 @@ impl ControlBlock {
         Self::with_memory_limit(deadline, limit_ms, u64::MAX)
     }
 
+    /// Standalone form: a private unbounded pool so only the per-query
+    /// limit applies (tests, direct `execute_plan` callers without a
+    /// governor).
     pub fn with_memory_limit(
         deadline: Option<Instant>,
         limit_ms: u64,
         memory_limit_rows: u64,
     ) -> Arc<ControlBlock> {
+        Self::with_lease(deadline, limit_ms, MemoryPool::unbounded().lease(memory_limit_rows))
+    }
+
+    /// Governed form: account this query against a shared-pool lease.
+    pub fn with_lease(
+        deadline: Option<Instant>,
+        limit_ms: u64,
+        lease: MemoryLease,
+    ) -> Arc<ControlBlock> {
         Arc::new(ControlBlock {
             deadline,
             cancelled: AtomicBool::new(false),
             limit_ms,
-            buffered_rows: AtomicU64::new(0),
-            memory_limit_rows,
+            lease,
         })
     }
 
@@ -53,18 +61,27 @@ impl ControlBlock {
         self.reserve(cells)
     }
 
-    /// Account for `n` buffered cells.
+    /// Account for `n` buffered cells against the query's memory lease.
+    /// A failed reservation (per-query limit, pool exhaustion, or lease
+    /// revocation) cancels the whole query.
     pub fn reserve(&self, n: usize) -> IcResult<()> {
-        let total = self.buffered_rows.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
-        if total > self.memory_limit_rows {
-            self.cancel();
-            return Err(IcError::MemoryLimit { limit_rows: self.memory_limit_rows });
+        match self.lease.reserve(n as u64) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.cancel();
+                Err(e)
+            }
         }
-        Ok(())
     }
 
-    /// Check for timeout/cancellation; call this in every operator loop.
+    /// Check for revocation/timeout/cancellation; call this in every
+    /// operator loop — it is the cooperative batch-boundary point where a
+    /// revoked query notices and unwinds.
     pub fn check(&self) -> IcResult<()> {
+        if self.lease.is_revoked() {
+            self.cancel();
+            return Err(self.lease.revoked_error());
+        }
         if self.cancelled.load(Ordering::Relaxed) {
             return Err(IcError::Exec("query cancelled".into()));
         }
@@ -74,6 +91,11 @@ impl ControlBlock {
             }
         }
         Ok(())
+    }
+
+    /// The query's memory lease (for telemetry and final error mapping).
+    pub fn lease(&self) -> &MemoryLease {
+        &self.lease
     }
 
     pub fn cancel(&self) {

@@ -31,6 +31,10 @@ pub struct ExecOptions {
     /// Buffered-cell (rows × columns) memory budget per query (Ignite's
     /// resource limit).
     pub memory_limit_rows: u64,
+    /// Shared cluster memory pool to lease the query's buffer budget from.
+    /// `None` (standalone executor use) accounts against a private
+    /// unbounded pool, so only `memory_limit_rows` applies.
+    pub pool: Option<Arc<ic_common::MemoryPool>>,
 }
 
 impl Default for ExecOptions {
@@ -40,6 +44,7 @@ impl Default for ExecOptions {
             timeout: None,
             channel_window: 16,
             memory_limit_rows: 60_000_000,
+            pool: None,
         }
     }
 }
@@ -52,6 +57,15 @@ pub struct QueryStats {
     pub net_messages: u64,
     pub net_bytes: u64,
     pub elapsed: Duration,
+    /// Failover replans performed by the coordinator (0 = first attempt
+    /// succeeded). Filled by `Cluster::query`, not by `execute_plan`.
+    pub retries: u32,
+    /// Time the query spent queued in the admission controller before its
+    /// slot was granted. Filled by `Cluster::query`.
+    pub queue_wait: Duration,
+    /// High-water mark of buffered cells (rows × columns) held by this
+    /// query's blocking operators, as accounted by its memory lease.
+    pub peak_buffered_rows: u64,
 }
 
 /// A message on an exchange link.
@@ -164,8 +178,8 @@ fn net_err(dst: SiteId, e: NetError) -> IcError {
 /// turn into [`IcError::RetriesExhausted`].
 fn failover_err(e: FailoverError) -> IcError {
     match e {
-        FailoverError::NoLiveSites => {
-            IcError::SiteUnavailable { site: 0, detail: e.to_string() }
+        FailoverError::NoLiveSites { coordinator } => {
+            IcError::SiteUnavailable { site: coordinator.0, detail: e.to_string() }
         }
         FailoverError::PartitionLost { primary, .. } => {
             IcError::SiteUnavailable { site: primary.0, detail: e.to_string() }
@@ -492,7 +506,15 @@ pub fn execute_plan(
 
     let deadline = opts.timeout.map(|t| start + t);
     let limit_ms = opts.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
-    let ctrl = ControlBlock::with_memory_limit(deadline, limit_ms, opts.memory_limit_rows);
+    // Lease the query's buffer budget: from the shared governor pool when
+    // one is configured, else from a private unbounded pool (per-query
+    // limit only). Each failover attempt gets a fresh lease, so budget is
+    // never double-counted across replans.
+    let lease = match &opts.pool {
+        Some(pool) => pool.lease(opts.memory_limit_rows),
+        None => ic_common::MemoryPool::unbounded().lease(opts.memory_limit_rows),
+    };
+    let ctrl = ControlBlock::with_lease(deadline, limit_ms, lease);
     // Polled by in-flight transfers so bandwidth sleeps stop at the
     // deadline instead of overshooting it.
     let abort: Arc<AbortFn> = {
@@ -679,21 +701,33 @@ pub fn execute_plan(
     if let Some(e) = error_slot.lock().take() {
         root_result = Err(e);
     }
-    // Once the deadline has passed, secondary channel failures caused by
-    // cancellation are reported as the timeout they really are.
+    // Secondary channel failures caused by cancellation are reported as
+    // the root cause they really are: the memory limit that fired, the
+    // lease revocation that cancelled us, or the deadline that passed.
     if let Err(err) = &root_result {
         // ic-lint: allow(L004) because the deadline check measures the same wall-clock runtime cap
         let deadline_passed = deadline.is_some_and(|d| Instant::now() > d);
-        let mem_exceeded =
-            ctrl.buffered_rows.load(std::sync::atomic::Ordering::Relaxed) > opts.memory_limit_rows;
-        if mem_exceeded && !matches!(err, IcError::MemoryLimit { .. }) {
-            root_result = Err(IcError::MemoryLimit { limit_rows: opts.memory_limit_rows });
+        if let Some(limit) = ctrl.lease().limit_hit() {
+            if !matches!(err, IcError::MemoryLimit { .. }) {
+                root_result = Err(IcError::MemoryLimit { limit_rows: limit });
+            }
+        } else if ctrl.lease().is_revoked()
+            && !matches!(
+                err,
+                IcError::ResourcesRevoked { .. } | IcError::SiteUnavailable { .. }
+            )
+        {
+            // A revoked query unwinds through cancellation; surface the
+            // revocation, not whatever channel error it tripped over.
+            // Site faults still win: failover handles those.
+            root_result = Err(ctrl.lease().revoked_error());
         } else if deadline_passed
             && !matches!(
                 err,
                 IcError::ExecTimeout { .. }
                     | IcError::MemoryLimit { .. }
                     | IcError::SiteUnavailable { .. }
+                    | IcError::ResourcesRevoked { .. }
             )
         {
             // Site faults keep their identity even when the deadline also
@@ -701,6 +735,7 @@ pub fn execute_plan(
             root_result = Err(IcError::ExecTimeout { limit_ms });
         }
     }
+    let peak_buffered_rows = ctrl.lease().peak_used();
     let rows = root_result?;
     let (msgs1, bytes1, _) = network.stats.snapshot();
     Ok((
@@ -711,6 +746,9 @@ pub fn execute_plan(
             net_messages: msgs1 - msgs0,
             net_bytes: bytes1 - bytes0,
             elapsed: start.elapsed(),
+            retries: 0,
+            queue_wait: Duration::ZERO,
+            peak_buffered_rows,
         },
     ))
 }

@@ -7,6 +7,7 @@
 //! | L003 | no std `HashMap`/`HashSet` in `ic-exec`/`ic-opt`/`ic-storage` hot paths |
 //! | L004 | no wall-clock (`Instant::now`/`SystemTime`/`thread::sleep`) in simulation-clock code |
 //! | L005 | no cycles in the cross-crate lock-acquisition-order graph |
+//! | L006 | buffering operators in `ic-exec` grow buffers only through the `MemoryLease` protocol (no private `buffered_rows`/`buffered_cells` counters) |
 //!
 //! Any rule except L005 can be suppressed per-site with a pragma that must
 //! carry a justification:
@@ -20,7 +21,7 @@
 
 use crate::tokenizer::{strip_test_regions, tokenize, Comment, Tok, TokKind};
 
-pub const RULES: [&str; 5] = ["L001", "L002", "L003", "L004", "L005"];
+pub const RULES: [&str; 6] = ["L001", "L002", "L003", "L004", "L005", "L006"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -106,6 +107,7 @@ fn in_scope(rule: &str, ctx: &FileCtx, path: &str) -> bool {
                 || (krate == "exec" && ctx.is_src && ctx.file == "runtime.rs")
         }
         "L005" => ctx.is_src,
+        "L006" => ctx.is_src && krate == "exec",
         _ => false,
     }
 }
@@ -207,6 +209,9 @@ pub fn lint_files(files: &[FileInput]) -> Report {
         }
         if in_scope("L004", &ctx, &f.path) {
             findings.extend(rule_l004(&toks));
+        }
+        if in_scope("L006", &ctx, &f.path) {
+            findings.extend(rule_l006(&toks));
         }
         if in_scope("L005", &ctx, &f.path) {
             lock_edges.extend(crate::lockgraph::extract_edges(&f.path, &toks));
@@ -354,6 +359,47 @@ fn rule_l004(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
     out
 }
 
+/// L006: private buffer accounting in the execution crate. Every cell an
+/// operator buffers must flow through the query's `MemoryLease` (via
+/// `ControlBlock::reserve`/`reserve_batch`) so the cluster governor can see
+/// — and revoke — it; a side-channel `buffered_rows` counter (the pre-lease
+/// design) silently escapes the shared budget.
+fn rule_l006(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && (t.text == "buffered_rows" || t.text == "buffered_cells") {
+            out.push((
+                "L006",
+                t.line,
+                format!(
+                    "private `{}` counter in ic-exec; account buffered cells through the \
+                     query's MemoryLease (ControlBlock::reserve) so the governor can revoke them",
+                    t.text
+                ),
+            ));
+        }
+        // Atomic mutation of any *buffered* counter (`foo_buffered.fetch_add(...)`)
+        // is the same escape hatch under a different name.
+        if t.kind == TokKind::Ident
+            && t.text.contains("buffered")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|b| {
+                b.kind == TokKind::Ident && b.text.starts_with("fetch_")
+            })
+        {
+            out.push((
+                "L006",
+                t.line,
+                format!(
+                    "direct atomic update of `{}` bypasses the MemoryLease protocol",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +472,20 @@ mod tests {
         // Other exec files are out of L004 scope.
         let r = lint_one("crates/exec/src/operators.rs", src);
         assert!(r.violations.iter().all(|v| v.rule != "L004"));
+    }
+
+    #[test]
+    fn l006_flags_private_buffer_counters_in_exec_only() {
+        let src = "struct S { buffered_rows: AtomicU64 }\n\
+                   fn f(s: &S) { s.total_buffered.fetch_add(1, Ordering::Relaxed); }";
+        let r = lint_one("crates/exec/src/operators.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L006").count(), 2);
+        // Lease-mediated accounting and the QueryStats field are fine.
+        let ok = "fn f(ctrl: &ControlBlock) { ctrl.reserve(n)?; let p = peak_buffered_rows; }";
+        assert!(lint_one("crates/exec/src/operators.rs", ok).violations.is_empty());
+        // Outside ic-exec src the rule does not apply.
+        assert!(lint_one("crates/core/src/cluster.rs", src).violations.is_empty());
+        assert!(lint_one("crates/exec/tests/a.rs", src).violations.is_empty());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! L006 fixture: a buffering operator accounting its memory through a
+//! private counter instead of the query's `MemoryLease` — the pre-governor
+//! design the rule exists to keep out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct LeakySort {
+    rows: Vec<Vec<u64>>,
+    /// The side-channel the governor can't see or revoke.
+    buffered_rows: AtomicU64,
+}
+
+impl LeakySort {
+    pub fn push(&mut self, row: Vec<u64>) {
+        self.buffered_rows.fetch_add(row.len() as u64, Ordering::Relaxed);
+        self.rows.push(row);
+    }
+
+    pub fn buffered(&self) -> u64 {
+        // ic-lint: allow(L006) because the fixture demonstrates pragma suppression
+        self.buffered_rows.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt: assertions may peek at raw counters.
+    #[test]
+    fn buffered_rows_visible_in_tests() {
+        let buffered_cells = 0u64;
+        assert_eq!(buffered_cells, 0);
+    }
+}

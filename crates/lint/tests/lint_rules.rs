@@ -65,6 +65,18 @@ fn fixture_l005_inversion_fails() {
 }
 
 #[test]
+fn fixture_l006_buffer_counter_fails() {
+    let r = lint_as("crates/exec/src/fixture.rs", "l006_buffer.rs");
+    let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L006").collect();
+    // Field declaration fires once; the `fetch_add` line fires both the
+    // ident and the atomic-update patterns.
+    assert_eq!(hits.len(), 3, "{:?}", r.violations);
+    // The pragma-covered `load` is suppressed, with its justification kept.
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    assert!(r.suppressed[0].justification.contains("fixture"));
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_pass() {
     // The same sources are fine where the rules don't apply.
     for (path, fixture_name) in [
@@ -72,6 +84,8 @@ fn fixtures_out_of_scope_paths_pass() {
         ("crates/net/src/fixture.rs", "l003_hashmap.rs"),
         ("crates/exec/src/operators.rs", "l004_wallclock.rs"),
         ("crates/net/tests/fixture.rs", "l005_inversion.rs"),
+        ("crates/core/src/fixture.rs", "l006_buffer.rs"),
+        ("crates/exec/tests/fixture.rs", "l006_buffer.rs"),
     ] {
         let r = lint_as(path, fixture_name);
         assert!(

@@ -103,7 +103,10 @@ impl Topology {
     pub fn assignment(&self, down: &FxHashSet<SiteId>) -> Result<Assignment, FailoverError> {
         let live: Vec<SiteId> = self.sites().filter(|s| !down.contains(s)).collect();
         if live.is_empty() {
-            return Err(FailoverError::NoLiveSites);
+            // Report the coordinator as the failed site: it is genuinely
+            // down (everything is), and it is the site the client was
+            // talking to — not a fabricated `site 0`.
+            return Err(FailoverError::NoLiveSites { coordinator: self.coordinator() });
         }
         let coordinator =
             if down.contains(&self.coordinator()) { live[0] } else { self.coordinator() };
@@ -179,8 +182,9 @@ impl Assignment {
 /// Why a surviving assignment could not be formed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailoverError {
-    /// Every site is down.
-    NoLiveSites,
+    /// Every site is down. Carries the (down) coordinator site so error
+    /// mapping can report the real site the client was attached to.
+    NoLiveSites { coordinator: SiteId },
     /// A partition's primary and all replicas are down.
     PartitionLost { partition: usize, primary: SiteId, replicas: usize },
 }
@@ -188,7 +192,9 @@ pub enum FailoverError {
 impl fmt::Display for FailoverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FailoverError::NoLiveSites => write!(f, "no live sites remain in the cluster"),
+            FailoverError::NoLiveSites { coordinator } => {
+                write!(f, "no live sites remain in the cluster (coordinator {coordinator} down)")
+            }
             FailoverError::PartitionLost { partition, primary, replicas } => write!(
                 f,
                 "partition {partition} lost: primary {primary} and all {replicas} replica(s) are down"
@@ -298,6 +304,9 @@ mod tests {
     fn all_sites_down_is_an_error() {
         let t = Topology::with_backups(2, 1);
         let down: FxHashSet<SiteId> = t.sites().collect();
-        assert_eq!(t.assignment(&down), Err(FailoverError::NoLiveSites));
+        assert_eq!(
+            t.assignment(&down),
+            Err(FailoverError::NoLiveSites { coordinator: t.coordinator() })
+        );
     }
 }

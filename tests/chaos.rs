@@ -8,8 +8,9 @@
 
 use ignite_calcite_rs::benchdata::tpch;
 use ignite_calcite_rs::{
-    Cluster, ClusterConfig, Datum, FaultPlan, IcError, Row, SiteId, SystemVariant,
+    Cluster, ClusterConfig, Datum, FaultPlan, GovernorConfig, IcError, Row, SiteId, SystemVariant,
 };
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 const SF: f64 = 0.002;
@@ -119,13 +120,24 @@ fn seeded_mid_run_crash_recovers_and_replays() {
         cluster.install_faults(plan());
         let mut rows_per_query = Vec::new();
         let mut total_retries = 0;
+        let mut max_peak_buffered = 0u64;
         for q in &queries {
             let r = cluster
                 .query(&tpch::query(*q))
                 .unwrap_or_else(|e| panic!("Q{q} under seeded crash: {e}"));
+            // QueryStats mirrors the result-level retry count, reports the
+            // lease's buffered-cell high-water mark, and shows no queue
+            // wait for this uncontended single client.
+            assert_eq!(r.stats.retries, r.retries, "Q{q}: stats.retries out of sync");
+            assert_eq!(r.stats.queue_wait, Duration::ZERO, "Q{q}: unexpected queue wait");
+            max_peak_buffered = max_peak_buffered.max(r.stats.peak_buffered_rows);
             total_retries += r.retries;
             rows_per_query.push(r.rows);
         }
+        assert!(
+            max_peak_buffered > 0,
+            "at least one TPC-H query buffers operator state, so some lease peak must be nonzero"
+        );
         runs.push((rows_per_query, total_retries, cluster.network().liveness().snapshot()));
     }
 
@@ -166,4 +178,138 @@ fn no_backups_exhausts_retries() {
         }
         other => panic!("expected RetriesExhausted, got {other}"),
     }
+}
+
+/// Governor × fault interaction: eight clients slam a cluster with one
+/// admission slot and a one-deep queue while a seeded fault plan crashes a
+/// site mid-run. Shed queries get the retryable [`IcError::Overloaded`],
+/// admitted queries survive the crash via failover, every successful
+/// answer is correct, and the memory pool balances back to zero.
+#[test]
+fn governor_sheds_queued_queries_during_site_crash() {
+    const CLIENTS: usize = 8;
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 4,
+        backups: 1,
+        variant: SystemVariant::ICPlus,
+        network: ignite_calcite_rs::NetworkConfig::instant(),
+        exec_timeout: Some(Duration::from_secs(60)),
+        governor: GovernorConfig {
+            max_concurrent: 1,
+            max_queue: 1,
+            ..GovernorConfig::test_default()
+        },
+        ..ClusterConfig::default()
+    });
+    for ddl in tpch::DDL.iter().chain(tpch::INDEX_DDL) {
+        cluster.run(ddl).unwrap();
+    }
+    for t in tpch::generate(SF, 42) {
+        cluster.insert(t.name, t.rows).unwrap();
+    }
+    cluster.analyze_all().unwrap();
+    let baseline = cluster.query(&tpch::query(6)).unwrap().rows;
+    // Crash site 3 from tick 1: whichever query runs first hits it mid-run
+    // while the other clients are queued or being shed.
+    cluster.install_faults(FaultPlan::new(99).crash(SiteId(3), 1));
+
+    let cluster = Arc::new(cluster);
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let cluster = Arc::clone(&cluster);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cluster.query_as(client as u64, &tpch::query(6))
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut total_retries = 0u32;
+    let mut saw_queue_wait = false;
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Ok(r) => {
+                assert_rows_close(&baseline, &r.rows, "Q6 under overload + crash");
+                assert_eq!(r.stats.retries, r.retries);
+                saw_queue_wait |= r.stats.queue_wait > Duration::ZERO;
+                total_retries += r.retries;
+                ok += 1;
+            }
+            Err(e @ IcError::Overloaded { .. }) => {
+                assert!(e.is_retryable(), "shed queries must be client-retryable: {e}");
+                assert!(!e.is_failover_retryable());
+                shed += 1;
+            }
+            Err(other) => panic!("expected success or Overloaded, got {other}"),
+        }
+    }
+    assert_eq!(ok + shed, CLIENTS);
+    // One slot + one queue entry: at least the runner and the queued query
+    // succeed; the rest are shed (timing may let a straggler in).
+    assert!(ok >= 2, "runner + queued query should complete, got {ok}");
+    assert!(shed >= 1, "with {CLIENTS} simultaneous clients, some must be shed");
+    assert!(saw_queue_wait, "the queued query should report a nonzero queue wait");
+    assert!(total_retries >= 1, "the in-flight query should fail over past the crash");
+
+    let stats = cluster.governor().stats();
+    assert_eq!(stats.shed as usize, shed);
+    assert_eq!(stats.admitted as usize, ok + 1, "baseline + successful clients");
+    assert!(stats.queued >= 1);
+    assert!(stats.peak_concurrent <= 1, "admission must bound concurrency");
+    assert_eq!(stats.pool_in_use, 0, "pool must leak no budget after the run");
+    assert_eq!(cluster.governor().pool().active_leases(), 0);
+}
+
+/// Memory-governance end to end: with the pool held hostage by a hog
+/// lease, a query is revoked (deterministically — the hog never unwinds,
+/// so the starved query self-revokes after its grant timeout), surfaces
+/// the retryable [`IcError::ResourcesRevoked`], and succeeds with correct
+/// results once the pressure is gone. No budget leaks either way.
+#[test]
+fn revoked_query_is_retryable_and_leaks_no_budget() {
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 2,
+        variant: SystemVariant::ICPlus,
+        network: ignite_calcite_rs::NetworkConfig::instant(),
+        exec_timeout: Some(Duration::from_secs(60)),
+        governor: GovernorConfig {
+            // Chunk-aligned so the hog lease below can drain it exactly.
+            pool_budget_cells: 64 * ignite_calcite_rs::common::LEASE_CHUNK_CELLS,
+            grant_timeout: Duration::from_millis(50),
+            ..GovernorConfig::test_default()
+        },
+        ..ClusterConfig::default()
+    });
+    cluster.run("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))").unwrap();
+    let rows: Vec<Row> = (0..2000).map(|i| Row(vec![Datum::Int(i), Datum::Int(i % 50)])).collect();
+    cluster.insert("t", rows).unwrap();
+    cluster.analyze_all().unwrap();
+    let sql = "SELECT count(*) FROM t x, t y WHERE x.b = y.b";
+    let baseline = cluster.query(sql).unwrap().rows.clone();
+
+    let pool = cluster.governor().pool().clone();
+    let hog = pool.lease(u64::MAX);
+    hog.reserve(pool.capacity()).unwrap();
+
+    // The query's first buffer reservation finds the pool empty, marks the
+    // hog (largest lease) for revocation, then self-revokes when the hog
+    // fails to unwind within the grant timeout.
+    let err = cluster.query(sql).unwrap_err();
+    assert!(matches!(err, IcError::ResourcesRevoked { .. }), "{err}");
+    assert!(err.is_retryable());
+    assert!(!err.is_failover_retryable());
+    assert!(hog.is_revoked(), "the hog lease must be picked as the revocation victim");
+    assert!(cluster.governor().stats().revoked >= 2, "hog + self-revoked query lease");
+
+    // Client-style retry after the pressure clears: correct result.
+    drop(hog);
+    let retry = cluster.query(sql).unwrap();
+    assert_eq!(retry.rows, baseline);
+    assert!(retry.stats.peak_buffered_rows > 0);
+    assert_eq!(pool.in_use(), 0, "all leases returned their grants");
+    assert_eq!(pool.active_leases(), 0);
 }
