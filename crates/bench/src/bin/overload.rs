@@ -57,7 +57,14 @@ struct Point {
     goodput_qps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Mean admission queue wait of *completed* queries.
     mean_queue_wait_ms: f64,
+    /// Mean time shed submissions spent in `admit` before rejection —
+    /// the shed outcome class's queue wait (zero when shed immediately).
+    mean_shed_wait_ms: f64,
+    /// Governor queue-wait histogram (`QUEUE_WAIT_BUCKETS_MS` buckets +
+    /// overflow); includes waits of queries shed after queueing.
+    queue_wait_hist: [u64; 6],
     peak_concurrent: usize,
     pool_in_use: u64,
     active_leases: usize,
@@ -104,7 +111,8 @@ fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
         handles.push(std::thread::spawn(move || {
             let mut latencies: Vec<Duration> = Vec::new();
             let mut queue_waits: Vec<Duration> = Vec::new();
-            let (mut shed, mut revoked, mut failed) = (0usize, 0usize, 0usize);
+            let mut shed_waits: Vec<Duration> = Vec::new();
+            let (mut revoked, mut failed) = (0usize, 0usize);
             let mut i = 0usize;
             while !stop.load(Ordering::Relaxed) {
                 // 1-in-3 heavy keeps the pool under pressure without the
@@ -118,7 +126,9 @@ fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
                         queue_waits.push(r.stats.queue_wait);
                     }
                     Err(IcError::Overloaded { retry_after_ms }) => {
-                        shed += 1;
+                        // Time from submission to rejection ~= how long the
+                        // governor held this submission before shedding it.
+                        shed_waits.push(t0.elapsed());
                         std::thread::sleep(
                             Duration::from_millis(retry_after_ms).min(MAX_BACKOFF),
                         );
@@ -127,7 +137,7 @@ fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
                     Err(_) => failed += 1,
                 }
             }
-            (latencies, queue_waits, shed, revoked, failed)
+            (latencies, queue_waits, shed_waits, revoked, failed)
         }));
     }
     let started = Instant::now();
@@ -136,22 +146,28 @@ fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
 
     let mut latencies: Vec<Duration> = Vec::new();
     let mut queue_waits: Vec<Duration> = Vec::new();
-    let (mut shed, mut revoked, mut failed) = (0usize, 0usize, 0usize);
+    let mut shed_waits: Vec<Duration> = Vec::new();
+    let (mut revoked, mut failed) = (0usize, 0usize);
     for h in handles {
-        let (lat, qw, s, r, f) = h.join().expect("client thread panicked");
+        let (lat, qw, sw, r, f) = h.join().expect("client thread panicked");
         latencies.extend(lat);
         queue_waits.extend(qw);
-        shed += s;
+        shed_waits.extend(sw);
         revoked += r;
         failed += f;
     }
+    let shed = shed_waits.len();
     let elapsed = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
-    let mean_queue_wait_ms = if queue_waits.is_empty() {
-        0.0
-    } else {
-        queue_waits.iter().sum::<Duration>().as_secs_f64() * 1e3 / queue_waits.len() as f64
+    let mean_ms = |waits: &[Duration]| {
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<Duration>().as_secs_f64() * 1e3 / waits.len() as f64
+        }
     };
+    let mean_queue_wait_ms = mean_ms(&queue_waits);
+    let mean_shed_wait_ms = mean_ms(&shed_waits);
     let stats = cluster.governor().stats();
     // What admission alone would allow: `slots` queries in flight, each
     // taking the governor's own EWMA service-time estimate.
@@ -170,6 +186,8 @@ fn run_point(cfg: &SweepConfig, clients: usize) -> Point {
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
         mean_queue_wait_ms,
+        mean_shed_wait_ms,
+        queue_wait_hist: stats.queue_wait_hist,
         peak_concurrent: stats.peak_concurrent,
         pool_in_use: stats.pool_in_use,
         active_leases: cluster.governor().pool().active_leases(),
@@ -187,10 +205,13 @@ fn write_json(cfg: &SweepConfig, points: &[Point]) {
         cfg.pool_chunks
     ));
     for (i, p) in points.iter().enumerate() {
+        let hist =
+            p.queue_wait_hist.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ");
         json.push_str(&format!(
             "    {{\"clients\": {}, \"completed\": {}, \"shed\": {}, \"revoked\": {}, \"failed\": {}, \
 \"goodput_qps\": {:.2}, \"ceiling_qps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-\"mean_queue_wait_ms\": {:.3}, \"peak_concurrent\": {}}}{}\n",
+\"mean_queue_wait_ms\": {:.3}, \"mean_shed_wait_ms\": {:.3}, \"queue_wait_hist\": [{}], \
+\"peak_concurrent\": {}}}{}\n",
             p.clients,
             p.completed,
             p.shed,
@@ -201,6 +222,8 @@ fn write_json(cfg: &SweepConfig, points: &[Point]) {
             p.p50_ms,
             p.p99_ms,
             p.mean_queue_wait_ms,
+            p.mean_shed_wait_ms,
+            hist,
             p.peak_concurrent,
             if i + 1 < points.len() { "," } else { "" }
         ));
@@ -249,6 +272,10 @@ fn smoke() {
         "completed {} shed {} revoked {} failed {} goodput {:.1} qps peak_concurrent {}",
         p.completed, p.shed, p.revoked, p.failed, p.goodput_qps, p.peak_concurrent
     );
+    println!(
+        "queue wait: completed {:.2} ms, shed {:.2} ms; governor hist {:?}",
+        p.mean_queue_wait_ms, p.mean_shed_wait_ms, p.queue_wait_hist
+    );
     assert_invariants(&p, cfg.slots);
     assert!(p.completed > 0, "smoke completed no queries");
     assert!(p.shed > 0, "8 clients vs 2 slots shed nothing — admission control inert");
@@ -283,7 +310,7 @@ fn main() {
         cfg.rows, cfg.slots, cfg.duration, clients
     );
     println!(
-        "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12} {:>12} {:>8} {:>8} {:>9} {:>9}",
         "clients",
         "completed",
         "shed",
@@ -293,13 +320,14 @@ fn main() {
         "ceiling q/s",
         "p50 ms",
         "p99 ms",
-        "queue ms"
+        "queue ms",
+        "shedq ms"
     );
     let mut points = Vec::new();
     for &c in &clients {
         let p = run_point(&cfg, c);
         println!(
-            "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2}",
+            "{:>7} {:>9} {:>6} {:>7} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2} {:>9.2}",
             p.clients,
             p.completed,
             p.shed,
@@ -309,7 +337,8 @@ fn main() {
             p.ceiling_qps,
             p.p50_ms,
             p.p99_ms,
-            p.mean_queue_wait_ms
+            p.mean_queue_wait_ms,
+            p.mean_shed_wait_ms
         );
         assert_invariants(&p, cfg.slots);
         points.push(p);

@@ -1,0 +1,118 @@
+//! Query-level observability demo and CI golden smoke:
+//! `cargo run --release -p ic-bench --bin trace [-- --smoke] [-- --trace]`
+//!
+//! Runs a distributed customer⋈orders join on a 3-site TPC-H cluster and
+//! shows every observability surface in one place:
+//!
+//! * `EXPLAIN ANALYZE` — the annotated plan tree with estimated vs actual
+//!   rows, batch counts, per-operator self time and shipped exchange bytes;
+//! * the span trace — with `--trace`, written as Chrome-trace JSON under
+//!   `results/traces/` (load in `chrome://tracing` or Perfetto);
+//! * the process-wide metrics registry, dumped as text.
+//!
+//! `--smoke` additionally asserts the tree is well-formed (for CI): every
+//! operator line carries actuals, the root row count is nonzero and matches
+//! the traced result, the span tree validates, and the Chrome JSON is
+//! structurally sound.
+
+use ic_bench::load_tpch;
+use ic_common::obs::{MetricsRegistry, TraceSink};
+use ic_core::{Cluster, ClusterConfig, SystemVariant};
+
+const SF: f64 = 0.002;
+
+/// customer is partitioned by `c_custkey`, orders by `o_orderkey`, so the
+/// join key matches neither side's co-location on the probe side and the
+/// planner must insert a hash-redistribution exchange — which is exactly
+/// what makes the trace interesting (shipped bytes, per-site fragments).
+const JOIN_SQL: &str = "SELECT c_mktsegment, count(*) AS orders \
+     FROM customer INNER JOIN orders ON c_custkey = o_custkey \
+     GROUP BY c_mktsegment ORDER BY c_mktsegment";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let write_trace = args.iter().any(|a| a == "--trace");
+
+    let cluster = Cluster::new(ClusterConfig {
+        sites: 3,
+        variant: SystemVariant::ICPlus,
+        ..ClusterConfig::default()
+    });
+    load_tpch(&cluster, SF, 42).expect("load tpch");
+
+    // Surface 1: EXPLAIN ANALYZE through the SQL front door.
+    let explained = cluster
+        .query(&format!("EXPLAIN ANALYZE {JOIN_SQL}"))
+        .expect("explain analyze");
+    let plan_lines: Vec<String> = explained
+        .rows
+        .iter()
+        .map(|r| r.0[0].as_str().expect("plan line").to_string())
+        .collect();
+    println!("== EXPLAIN ANALYZE ==");
+    for line in &plan_lines {
+        println!("{line}");
+    }
+
+    // Surface 2: the span trace behind a programmatic query_traced() call.
+    let (result, trace) = cluster.query_traced(0, JOIN_SQL);
+    let result = result.expect("traced join");
+    let sink = TraceSink::new(trace.clone());
+    println!("\n== traced query: {} result rows ==", result.rows.len());
+    if write_trace {
+        let path = std::path::Path::new("results/traces/tpch_customer_orders.json");
+        sink.write_chrome(path).expect("write chrome trace");
+        println!("chrome trace written to {}", path.display());
+    }
+
+    // Surface 3: the process-wide metrics registry.
+    println!("\n== metrics ==");
+    print!("{}", MetricsRegistry::global().render_text());
+
+    if smoke {
+        run_smoke_assertions(&plan_lines, &sink, &trace, result.rows.len());
+        println!("\ntrace smoke OK");
+    }
+}
+
+/// CI golden checks: fail loudly if any observability surface regresses.
+fn run_smoke_assertions(
+    plan_lines: &[String],
+    sink: &TraceSink,
+    trace: &ic_common::obs::Trace,
+    result_rows: usize,
+) {
+    assert!(!plan_lines.is_empty(), "EXPLAIN ANALYZE produced no plan");
+    for line in plan_lines {
+        assert!(
+            line.contains("rows est=") && line.contains(" act=") && line.contains("self="),
+            "plan line missing actuals: {line}"
+        );
+    }
+    assert!(
+        plan_lines.iter().any(|l| l.contains("shipped=")),
+        "no exchange shipped bytes in a distributed join:\n{}",
+        plan_lines.join("\n")
+    );
+
+    trace.validate().expect("span tree well-formed");
+    assert_eq!(trace.open_spans(), 0, "spans left open after query finished");
+    let attempt = trace.attempts().into_iter().last().expect("one attempt");
+    assert_eq!(attempt.rows(0), result_rows as u64, "root actuals vs result rows");
+    assert!(result_rows > 0, "join returned no rows");
+
+    let json = sink.chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["), "chrome json header");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "chrome json braces unbalanced"
+    );
+    assert!(json.contains("\"ph\":\"X\""), "chrome json has no complete events");
+
+    let metrics = MetricsRegistry::global().render_text();
+    for name in ["exec.op.rows", "exec.op.batches", "net.transfer.bytes"] {
+        assert!(metrics.contains(name), "metrics registry missing {name}:\n{metrics}");
+    }
+}

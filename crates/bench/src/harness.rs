@@ -89,19 +89,47 @@ pub struct Measurement {
 /// §6.2 protocol: one warm-up + `reps` measured executions; mean response
 /// time. Classifies failures instead of panicking.
 pub fn measure_query(cluster: &Cluster, sql: &str, reps: usize) -> (MeasureOutcome, usize) {
+    let (outcome, rows, _) = measure_query_waits(cluster, sql, reps);
+    (outcome, rows)
+}
+
+/// [`measure_query`], additionally reporting the mean admission queue wait
+/// over the measured repetitions. `QueryStats::queue_wait` was always
+/// measured but the harness dropped it, so summary lines could not show
+/// when a "slow" query was actually a *queued* query.
+pub fn measure_query_waits(
+    cluster: &Cluster,
+    sql: &str,
+    reps: usize,
+) -> (MeasureOutcome, usize, Duration) {
     // Warm-up execution.
     let rows = match cluster.query(sql) {
         Ok(r) => r.rows.len(),
-        Err(e) => return (classify(e), 0),
+        Err(e) => return (classify(e), 0, Duration::ZERO),
     };
     let mut total = Duration::ZERO;
+    let mut queue_wait = Duration::ZERO;
     for _ in 0..reps {
         match cluster.query(sql) {
-            Ok(r) => total += r.total_time(),
-            Err(e) => return (classify(e), rows),
+            Ok(r) => {
+                total += r.total_time();
+                queue_wait += r.stats.queue_wait;
+            }
+            Err(e) => return (classify(e), rows, Duration::ZERO),
         }
     }
-    (MeasureOutcome::Ok(total / reps.max(1) as u32), rows)
+    let n = reps.max(1) as u32;
+    (MeasureOutcome::Ok(total / n), rows, queue_wait / n)
+}
+
+/// Suffix for harness summary lines: the mean queue wait when it is
+/// nonzero, empty otherwise (the common uncontended case stays clean).
+pub fn queue_wait_suffix(queue_wait: Duration) -> String {
+    if queue_wait.is_zero() {
+        String::new()
+    } else {
+        format!(" (queued {:.1} ms)", queue_wait.as_secs_f64() * 1000.0)
+    }
 }
 
 fn classify(e: IcError) -> MeasureOutcome {

@@ -3,7 +3,7 @@
 //! same data (the clusters share the catalog), and collect per-query
 //! outcomes following the §6.1/§6.2 methodology.
 
-use crate::harness::{measure_query, repetitions, scale_factors, MeasureOutcome};
+use crate::harness::{measure_query_waits, queue_wait_suffix, repetitions, scale_factors, MeasureOutcome};
 use crate::load::{load_ssb, load_tpch};
 use ic_core::{Cluster, ClusterConfig, NetworkConfig, SystemVariant};
 use std::collections::HashMap;
@@ -51,6 +51,33 @@ pub fn calibrated_network() -> NetworkConfig {
     }
 }
 
+/// Whether sweep binaries should emit per-query Chrome traces: pass
+/// `--trace` to any figure/table binary (or set `IC_BENCH_TRACE`).
+fn trace_enabled() -> bool {
+    std::env::args().any(|a| a == "--trace") || std::env::var_os("IC_BENCH_TRACE").is_some()
+}
+
+/// Re-run `sql` once with tracing and write the Chrome-trace JSON under
+/// `results/traces/<name>.json`. Failed queries still produce a trace —
+/// that is the point of tracing them.
+fn write_trace(cluster: &Cluster, sql: &str, name: &str) {
+    let (_, trace) = cluster.query_traced(0, sql);
+    let file: String = name
+        .replace('+', "plus")
+        .chars()
+        .map(|c| match c {
+            '.' => 'p',
+            ' ' | '/' => '_',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect();
+    let path = std::path::PathBuf::from("results/traces").join(format!("{file}.json"));
+    match ic_common::obs::TraceSink::new(trace).write_chrome(&path) {
+        Ok(()) => eprintln!("#     trace -> {}", path.display()),
+        Err(e) => eprintln!("#     trace write failed for {name}: {e}"),
+    }
+}
+
 fn cluster_for(sites: usize, variant: SystemVariant) -> Cluster {
     Cluster::new(ClusterConfig {
         sites,
@@ -78,8 +105,18 @@ pub fn sweep_tpch(
                 let cluster = base.with_variant(variant);
                 for &q in queries {
                     let sql = ic_benchdata::tpch::query(q);
-                    let (outcome, _) = measure_query(&cluster, &sql, reps);
-                    eprintln!("#   {} Q{q:02}: {}", variant.label(), outcome.label());
+                    let (outcome, _, queue_wait) = measure_query_waits(&cluster, &sql, reps);
+                    eprintln!(
+                        "#   {} Q{q:02}: {}{}",
+                        variant.label(),
+                        outcome.label(),
+                        queue_wait_suffix(queue_wait)
+                    );
+                    if trace_enabled() {
+                        let name =
+                            format!("tpch_sf{sf}_s{sites}_{}_q{q:02}", variant.label());
+                        write_trace(&cluster, &sql, &name);
+                    }
                     out.push(RunPoint { sf, sites, variant, query: q, outcome });
                 }
             }
@@ -105,8 +142,17 @@ pub fn sweep_ssb(
                 let cluster = base.with_variant(variant);
                 for (qi, id) in query_ids.iter().enumerate() {
                     let sql = ic_benchdata::ssb::query(id).expect("known SSB query");
-                    let (outcome, _) = measure_query(&cluster, sql, reps);
-                    eprintln!("#   {} {id}: {}", variant.label(), outcome.label());
+                    let (outcome, _, queue_wait) = measure_query_waits(&cluster, sql, reps);
+                    eprintln!(
+                        "#   {} {id}: {}{}",
+                        variant.label(),
+                        outcome.label(),
+                        queue_wait_suffix(queue_wait)
+                    );
+                    if trace_enabled() {
+                        let name = format!("ssb_sf{sf}_s{sites}_{}_{id}", variant.label());
+                        write_trace(&cluster, sql, &name);
+                    }
                     out.push(RunPoint { sf, sites, variant, query: qi, outcome });
                 }
             }

@@ -13,13 +13,19 @@ use std::fmt;
 /// Aggregate function kinds supported by the SQL frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
+    /// COUNT(expr) — counts non-NULL values.
     Count,
     /// COUNT(*) — counts rows regardless of NULLs.
     CountStar,
+    /// COUNT(DISTINCT expr) — unsplittable (see [`AggFunc::splittable`]).
     CountDistinct,
+    /// SUM(expr).
     Sum,
+    /// AVG(expr).
     Avg,
+    /// MIN(expr).
     Min,
+    /// MAX(expr).
     Max,
 }
 
@@ -50,11 +56,31 @@ impl fmt::Display for AggFunc {
 /// Runtime accumulator for one aggregate over one group.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
+    /// Row/value count (COUNT and COUNT(*)).
     Count(i64),
-    Sum { sum: f64, saw: bool, int_only: bool, isum: i64 },
-    Avg { sum: f64, count: i64 },
+    /// Running sum; keeps an exact integer sum while all inputs are Int.
+    Sum {
+        /// Float sum (always maintained).
+        sum: f64,
+        /// Whether any non-NULL value was seen (SUM of nothing is NULL).
+        saw: bool,
+        /// True while every input was an Int, so `isum` stays exact.
+        int_only: bool,
+        /// Exact integer sum, valid while `int_only`.
+        isum: i64,
+    },
+    /// Running sum + count for AVG.
+    Avg {
+        /// Sum of inputs.
+        sum: f64,
+        /// Count of non-NULL inputs.
+        count: i64,
+    },
+    /// Running minimum (None until a value is seen).
     Min(Option<Datum>),
+    /// Running maximum (None until a value is seen).
     Max(Option<Datum>),
+    /// Distinct-value set for COUNT(DISTINCT).
     Distinct(FxHashSet<Datum>),
 }
 

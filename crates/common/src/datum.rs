@@ -14,9 +14,13 @@ use std::sync::Arc;
 /// Logical column type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
+    /// SQL BOOLEAN.
     Bool,
+    /// SQL BIGINT (64-bit signed).
     Int,
+    /// SQL DOUBLE; also models DECIMAL.
     Double,
+    /// SQL VARCHAR/CHAR.
     Str,
     /// Days since 1970-01-01.
     Date,
@@ -42,10 +46,15 @@ impl fmt::Display for DataType {
 /// total order (NULL first) used by sort operators and BTree indexes.
 #[derive(Debug, Clone)]
 pub enum Datum {
+    /// SQL NULL.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A 64-bit signed integer.
     Int(i64),
+    /// A double (also models DECIMAL).
     Double(f64),
+    /// A reference-counted string.
     Str(Arc<str>),
     /// Days since the Unix epoch.
     Date(i32),
@@ -57,6 +66,7 @@ impl Datum {
         Datum::Str(Arc::from(s.as_ref()))
     }
 
+    /// Is this the NULL variant?
     pub fn is_null(&self) -> bool {
         matches!(self, Datum::Null)
     }
@@ -86,6 +96,7 @@ impl Datum {
         }
     }
 
+    /// The boolean value, if this is a [`Datum::Bool`].
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Datum::Bool(b) => Some(*b),
@@ -93,6 +104,7 @@ impl Datum {
         }
     }
 
+    /// The integer value; dates coerce to their day number.
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Datum::Int(i) => Some(*i),
@@ -101,6 +113,7 @@ impl Datum {
         }
     }
 
+    /// The double value; integers coerce.
     pub fn as_double(&self) -> Option<f64> {
         match self {
             Datum::Double(d) => Some(*d),
@@ -109,6 +122,7 @@ impl Datum {
         }
     }
 
+    /// The string value, if this is a [`Datum::Str`].
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Datum::Str(s) => Some(s),

@@ -21,39 +21,66 @@ pub enum IcError {
     Plan(String),
     /// The cost-based planner exceeded its exploration budget
     /// (the paper's "search space too large" Calcite timeout, §6.4).
-    PlannerBudgetExceeded { rules_fired: u64, budget: u64 },
+    PlannerBudgetExceeded {
+        /// Rule firings consumed before giving up.
+        rules_fired: u64,
+        /// The configured firing budget.
+        budget: u64,
+    },
     /// A feature the composed system does not support (e.g. VIEWs, §6).
     Unsupported(String),
     /// Execution-time failure.
     Exec(String),
     /// Query execution exceeded the configured wall-clock limit
     /// (the paper's four-hour runtime cap, §5.2).
-    ExecTimeout { limit_ms: u64 },
+    ExecTimeout {
+        /// The configured wall-clock cap in milliseconds.
+        limit_ms: u64,
+    },
     /// Query execution exceeded the configured memory budget — the
     /// "system resource limit" failures the paper observes on the
     /// baseline's unoptimized plans.
-    MemoryLimit { limit_rows: u64 },
+    MemoryLimit {
+        /// The limit (cells) that fired — per-query cap or pool capacity.
+        limit_rows: u64,
+    },
     /// Catalog errors: unknown table/column/index, duplicate definitions.
     Catalog(String),
     /// A site needed by the query is crashed/unreachable, or a link fault
     /// lost an exchange message. Retryable: the coordinator replans
     /// against the surviving topology (backup partition owners substituted
     /// for dead sites) and tries again.
-    SiteUnavailable { site: usize, detail: String },
+    SiteUnavailable {
+        /// The crashed/unreachable site's id.
+        site: usize,
+        /// What failed (lost exchange message, dead partition owner, …).
+        detail: String,
+    },
     /// The admission controller shed this query: the wait queue is full or
     /// the deadline cannot be met at the current load. Retryable by the
     /// *client* after `retry_after_ms` — the coordinator's failover loop
     /// deliberately does not retry it (that would defeat the shedding).
-    Overloaded { retry_after_ms: u64 },
+    Overloaded {
+        /// Suggested client back-off before resubmitting.
+        retry_after_ms: u64,
+    },
     /// The cluster memory governor revoked this query's lease under
     /// pressure (it held the largest grant when another query could not be
     /// served). `lease_cells` is the grant reclaimed. Retryable by the
     /// client once the pressure subsides; never retried by the failover
     /// loop, so a revoked query frees its budget immediately.
-    ResourcesRevoked { lease_cells: u64 },
+    ResourcesRevoked {
+        /// The grant (cells) reclaimed from the revoked lease.
+        lease_cells: u64,
+    },
     /// The bounded failover loop gave up: every attempt failed with a
     /// retryable error. `chain` records each attempt's failure in order.
-    RetriesExhausted { attempts: u32, chain: Vec<String> },
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// Each attempt's failure, in order.
+        chain: Vec<String>,
+    },
     /// An internal invariant was broken (a "this cannot happen" state such
     /// as an operator polled before open or an unregistered exchange node).
     /// Not retryable: the bug is in the engine, not the topology.

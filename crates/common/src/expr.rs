@@ -18,21 +18,34 @@ use std::fmt;
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// Logical AND (Kleene).
     And,
+    /// Logical OR (Kleene).
     Or,
 }
 
 impl BinOp {
+    /// Is this one of the six comparison operators?
     pub fn is_comparison(&self) -> bool {
         matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
     }
@@ -112,64 +125,86 @@ pub enum Expr {
     Col(usize),
     /// Literal value.
     Lit(Datum),
+    /// Binary operation.
     Binary {
+        /// The operator.
         op: BinOp,
+        /// Left operand.
         left: Box<Expr>,
+        /// Right operand.
         right: Box<Expr>,
     },
     /// Logical negation (three-valued).
     Not(Box<Expr>),
     /// IS NULL / IS NOT NULL.
     IsNull {
+        /// The tested expression.
         expr: Box<Expr>,
+        /// True for IS NOT NULL.
         negated: bool,
     },
     /// SQL LIKE with `%` and `_` wildcards.
     Like {
+        /// The matched expression.
         expr: Box<Expr>,
+        /// The pattern (usually a literal).
         pattern: Box<Expr>,
+        /// True for NOT LIKE.
         negated: bool,
     },
     /// `expr IN (lit, lit, ...)` — list form only; subqueries are
     /// decorrelated into joins by the frontend.
     InList {
+        /// The tested expression.
         expr: Box<Expr>,
+        /// Candidate values.
         list: Vec<Expr>,
+        /// True for NOT IN.
         negated: bool,
     },
     /// Searched CASE: WHEN cond THEN value ... ELSE else_.
     Case {
+        /// (condition, value) arms in order.
         whens: Vec<(Expr, Expr)>,
+        /// The ELSE value (NULL literal when omitted).
         else_: Box<Expr>,
     },
     /// Built-in scalar function call.
     Func {
+        /// Which function.
         kind: FuncKind,
+        /// Arguments in order.
         args: Vec<Expr>,
     },
 }
 
 impl Expr {
+    /// Column reference shorthand.
     pub fn col(i: usize) -> Expr {
         Expr::Col(i)
     }
 
+    /// Literal shorthand.
     pub fn lit(d: impl Into<Datum>) -> Expr {
         Expr::Lit(d.into())
     }
 
+    /// Binary-operation shorthand.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
         Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
     }
 
+    /// `left = right` shorthand.
     pub fn eq(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinOp::Eq, left, right)
     }
 
+    /// `left AND right` shorthand.
     pub fn and(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinOp::And, left, right)
     }
 
+    /// `left OR right` shorthand.
     pub fn or(left: Expr, right: Expr) -> Expr {
         Expr::binary(BinOp::Or, left, right)
     }

@@ -138,17 +138,21 @@ pub struct FlatMap {
 }
 
 impl FlatMap {
+    /// Sentinel payload marking an empty slot (so no separate tag array).
     pub const EMPTY: u32 = u32::MAX;
 
+    /// A table sized to hold `cap` entries without growing.
     pub fn with_capacity(cap: usize) -> FlatMap {
         let slots = (cap.max(8) * 8 / 7).next_power_of_two();
         FlatMap { entries: vec![(0, Self::EMPTY); slots], len: 0, mask: slots - 1 }
     }
 
+    /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether the table holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

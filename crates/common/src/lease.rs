@@ -55,6 +55,24 @@ struct PoolState {
 ///
 /// Cheap to share (`Arc<MemoryPool>`); all mutation goes through one
 /// internal mutex plus a condvar that wakes waiters when budget frees.
+///
+/// The load-bearing invariant is *drop balances to zero*: every cell a
+/// lease ever acquired returns to the pool when the lease drops, so after
+/// the last lease is gone `in_use()` is exactly zero — no leaked budget,
+/// even on error and revocation paths.
+///
+/// ```
+/// use ic_common::{MemoryPool, LEASE_CHUNK_CELLS};
+///
+/// let pool = MemoryPool::new(4 * LEASE_CHUNK_CELLS);
+/// {
+///     let lease = pool.lease(u64::MAX);
+///     lease.reserve(100).unwrap();
+///     assert_eq!(pool.in_use(), LEASE_CHUNK_CELLS); // chunk-granular
+/// } // lease drops here
+/// assert_eq!(pool.in_use(), 0);
+/// assert_eq!(pool.active_leases(), 0);
+/// ```
 #[derive(Debug)]
 pub struct MemoryPool {
     capacity: u64,
@@ -63,6 +81,11 @@ pub struct MemoryPool {
     freed: Condvar,
     peak_used: AtomicU64,
     revocations: AtomicU64,
+    /// Global `mem.lease.grants` handle, resolved once at construction so
+    /// the grant path never touches the registry lock.
+    m_grants: Arc<crate::obs::Counter>,
+    /// Global `mem.lease.revocations` handle (same caching rationale).
+    m_revocations: Arc<crate::obs::Counter>,
 }
 
 fn lock_state(pool: &MemoryPool) -> MutexGuard<'_, PoolState> {
@@ -81,6 +104,7 @@ impl MemoryPool {
     /// A pool with an explicit bound on how long a starved lease waits for
     /// freed budget before revoking itself.
     pub fn with_grant_timeout(capacity: u64, grant_timeout: Duration) -> Arc<Self> {
+        let reg = crate::obs::MetricsRegistry::global();
         Arc::new(MemoryPool {
             capacity,
             grant_timeout,
@@ -88,6 +112,8 @@ impl MemoryPool {
             freed: Condvar::new(),
             peak_used: AtomicU64::new(0),
             revocations: AtomicU64::new(0),
+            m_grants: reg.counter("mem.lease.grants"),
+            m_revocations: reg.counter("mem.lease.revocations"),
         })
     }
 
@@ -129,6 +155,7 @@ impl MemoryPool {
         lock_state(self).leases.len()
     }
 
+    /// Fixed pool size in cells (rows × arity), set at construction.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
@@ -142,6 +169,13 @@ impl MemoryPool {
     pub fn revocations(&self) -> u64 {
         self.revocations.load(Ordering::Relaxed)
     }
+
+    /// Count one revocation in both the pool-local counter and the global
+    /// `mem.lease.revocations` metric.
+    fn note_revocation(&self) {
+        self.revocations.fetch_add(1, Ordering::Relaxed);
+        self.m_revocations.inc();
+    }
 }
 
 /// One query's revocable claim on the shared pool.
@@ -150,6 +184,39 @@ impl MemoryPool {
 /// `Arc<ControlBlock>`); `reserve` is lock-free while the current chunk
 /// lasts. Dropping the lease returns its whole grant to the pool and wakes
 /// waiters.
+///
+/// The two failure modes split on retryability:
+///
+/// - [`IcError::ResourcesRevoked`] — this lease lost the revocation
+///   protocol (victim or self-revoked under starvation). *Client*-
+///   retryable: the pressure is transient, so resubmitting later can
+///   succeed. Never failover-retryable — replanning around a "dead" site
+///   cannot conjure memory.
+/// - [`IcError::MemoryLimit`] — the per-query cap or the whole pool is
+///   smaller than the query's working set. Terminal: retrying reproduces
+///   the same demand.
+///
+/// ```
+/// use ic_common::{IcError, MemoryPool, LEASE_CHUNK_CELLS};
+/// use std::time::Duration;
+///
+/// let pool = MemoryPool::with_grant_timeout(2 * LEASE_CHUNK_CELLS, Duration::from_millis(20));
+/// let hog = pool.lease(u64::MAX);
+/// hog.reserve(2 * LEASE_CHUNK_CELLS).unwrap();
+///
+/// // The starved second lease revokes the hog, waits out the grant
+/// // timeout, then self-revokes with the *retryable* error…
+/// let err = pool.lease(u64::MAX).reserve(1).unwrap_err();
+/// assert!(matches!(err, IcError::ResourcesRevoked { .. }));
+/// assert!(err.is_retryable() && !err.is_failover_retryable());
+/// assert!(hog.is_revoked());
+///
+/// // …whereas a solo lease outgrowing the pool is a terminal limit.
+/// drop(hog);
+/// let err = pool.lease(u64::MAX).reserve(3 * LEASE_CHUNK_CELLS).unwrap_err();
+/// assert!(matches!(err, IcError::MemoryLimit { .. }));
+/// assert!(!err.is_retryable());
+/// ```
 #[derive(Debug)]
 pub struct MemoryLease {
     pool: Arc<MemoryPool>,
@@ -215,6 +282,7 @@ impl MemoryLease {
                 let granted = st.leases[idx].granted;
                 self.pool.peak_used.fetch_max(st.used, Ordering::Relaxed);
                 self.granted.fetch_max(granted, Ordering::Relaxed);
+                self.pool.m_grants.inc();
                 return Ok(());
             }
 
@@ -229,7 +297,7 @@ impl MemoryLease {
             match victim {
                 Some((vid, flag)) if vid != self.id => {
                     flag.store(true, Ordering::Relaxed);
-                    self.pool.revocations.fetch_add(1, Ordering::Relaxed);
+                    self.pool.note_revocation();
                     // Fall through and wait for the victim to unwind.
                 }
                 _ => {
@@ -243,7 +311,7 @@ impl MemoryLease {
                         return Err(IcError::MemoryLimit { limit_rows: self.pool.capacity });
                     }
                     self.revoked.store(true, Ordering::Relaxed);
-                    self.pool.revocations.fetch_add(1, Ordering::Relaxed);
+                    self.pool.note_revocation();
                     return Err(self.revoked_error());
                 }
             }
@@ -251,7 +319,7 @@ impl MemoryLease {
             let now = Instant::now();
             if now >= wait_deadline {
                 self.revoked.store(true, Ordering::Relaxed);
-                self.pool.revocations.fetch_add(1, Ordering::Relaxed);
+                self.pool.note_revocation();
                 return Err(self.revoked_error());
             }
             let step = (wait_deadline - now).min(Duration::from_millis(10));
@@ -273,7 +341,7 @@ impl MemoryLease {
     /// Force-revoke (used by tests and the governor's shutdown path).
     pub fn revoke(&self) {
         if !self.revoked.swap(true, Ordering::Relaxed) {
-            self.pool.revocations.fetch_add(1, Ordering::Relaxed);
+            self.pool.note_revocation();
         }
         self.pool.freed.notify_all();
     }
@@ -301,6 +369,7 @@ impl MemoryLease {
         self.peak.load(Ordering::Relaxed)
     }
 
+    /// The pool this lease draws from.
     pub fn pool(&self) -> &Arc<MemoryPool> {
         &self.pool
     }

@@ -9,6 +9,8 @@
 //! speaks these types, mirroring how Apache Calcite's `RexNode`/`RelDataType`
 //! layer underpins the whole Ignite+Calcite stack.
 
+#![deny(missing_docs)]
+
 pub mod agg;
 pub mod datum;
 pub mod dates;
@@ -16,6 +18,7 @@ pub mod error;
 pub mod expr;
 pub mod hash;
 pub mod lease;
+pub mod obs;
 pub mod row;
 pub mod schema;
 

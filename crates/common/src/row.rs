@@ -10,14 +10,17 @@ use std::hash::{Hash, Hasher};
 pub struct Row(pub Vec<Datum>);
 
 impl Row {
+    /// Build a row from its datums.
     pub fn new(values: Vec<Datum>) -> Row {
         Row(values)
     }
 
+    /// Number of columns.
     pub fn arity(&self) -> usize {
         self.0.len()
     }
 
+    /// The datum in column `i` (panics when out of range).
     pub fn get(&self, i: usize) -> &Datum {
         &self.0[i]
     }

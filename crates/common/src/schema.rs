@@ -7,11 +7,14 @@ use std::sync::Arc;
 /// A single column definition.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
+    /// Column name (folded case-insensitively on lookup).
     pub name: String,
+    /// Column type.
     pub dtype: DataType,
 }
 
 impl Field {
+    /// Build a field from a name and type.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
         Field { name: name.into(), dtype }
     }
@@ -25,22 +28,27 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// Build a schema from an ordered field list.
     pub fn new(fields: Vec<Field>) -> Schema {
         Schema { fields: Arc::new(fields) }
     }
 
+    /// The zero-column schema.
     pub fn empty() -> Schema {
         Schema::new(Vec::new())
     }
 
+    /// All fields in order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of columns.
     pub fn arity(&self) -> usize {
         self.fields.len()
     }
 
+    /// The field at position `i` (panics when out of range).
     pub fn field(&self, i: usize) -> &Field {
         &self.fields[i]
     }

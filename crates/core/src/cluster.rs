@@ -3,6 +3,7 @@
 
 use crate::governor::{Governor, GovernorConfig};
 use crate::result::QueryResult;
+use ic_common::obs::{MetricsRegistry, SpanId, Trace, TraceSink};
 use ic_common::{IcError, IcResult, Row, Schema};
 use ic_exec::{execute_plan, ExecOptions};
 use ic_net::{FaultInjector, FaultPlan, Network, NetworkConfig, SiteId, Topology};
@@ -258,9 +259,9 @@ impl Cluster {
                 self.catalog.create_index(&ci.name, table, cols)?;
                 Ok(())
             }
-            Statement::Query(_) | Statement::Explain(_) => Err(IcError::Exec(
-                "use query() for SELECT statements".into(),
-            )),
+            Statement::Query(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => Err(
+                IcError::Exec("use query() for SELECT statements".into()),
+            ),
         }
     }
 
@@ -324,6 +325,31 @@ impl Cluster {
     /// [`Cluster::query`] on behalf of a specific client (the governor's
     /// fair-share unit — one id per AQL terminal/session).
     pub fn query_as(&self, client: u64, sql: &str) -> IcResult<QueryResult> {
+        self.query_inner(client, sql, None)
+    }
+
+    /// [`Cluster::query_as`] with a per-query [`Trace`]: every phase
+    /// (admission, plan, per-attempt execution down to individual
+    /// operators and transfers) is recorded as spans, and governor
+    /// shed/revoke decisions and network faults as instant events.
+    ///
+    /// The trace is returned even when the query fails, so failed and
+    /// failed-over attempts stay inspectable (render it with
+    /// [`TraceSink`]).
+    pub fn query_traced(&self, client: u64, sql: &str) -> (IcResult<QueryResult>, Arc<Trace>) {
+        let trace = Trace::new();
+        let result = self.query_inner(client, sql, Some(&trace));
+        (result, trace)
+    }
+
+    fn query_inner(
+        &self,
+        client: u64,
+        sql: &str,
+        trace: Option<&Arc<Trace>>,
+    ) -> IcResult<QueryResult> {
+        let query_span = trace.map(|t| t.span("query", "query", None, Trace::COORD_LANE));
+        let qid = query_span.as_ref().map(|g| g.id());
         // Admission deadline = this query's wall-clock budget; a query
         // whose budget would elapse in the queue is shed, not started.
         let deadline = self.config.exec_timeout.map(|t| Instant::now() + t);
@@ -331,12 +357,44 @@ impl Cluster {
         // replans are the same query, not new work, so they never
         // re-enter the queue — and each attempt opens a fresh pool lease,
         // so buffer budget is never double-counted across replans.
-        let admission = self.governor.admit(client, deadline)?;
+        let adm_start = trace.map(|t| t.now_ns());
+        let admission = match self.governor.admit(client, deadline) {
+            Ok(a) => {
+                if let (Some(t), Some(t0)) = (trace, adm_start) {
+                    t.record_span(
+                        "admission",
+                        "query",
+                        qid,
+                        Trace::COORD_LANE,
+                        t0,
+                        t.now_ns(),
+                        vec![("queue_wait_us", a.queue_wait().as_micros() as u64)],
+                    );
+                }
+                a
+            }
+            Err(e) => {
+                if let Some(t) = trace {
+                    t.event("governor.shed", "query", Trace::COORD_LANE, e.to_string());
+                }
+                return Err(e);
+            }
+        };
         let mut chain: Vec<String> = Vec::new();
         let mut attempt: u32 = 0;
         loop {
-            match self.query_attempt(sql) {
+            let attempt_span = trace.map(|t| {
+                t.span(format!("attempt {attempt}"), "attempt", qid, Trace::COORD_LANE)
+            });
+            let tctx = match (trace, &attempt_span) {
+                (Some(t), Some(g)) => Some((t, g.id())),
+                _ => None,
+            };
+            match self.query_attempt(sql, tctx) {
                 Ok(mut result) => {
+                    if attempt > 0 {
+                        MetricsRegistry::global().counter("core.query.retries").add(attempt.into());
+                    }
                     result.retries = attempt;
                     result.stats.retries = attempt;
                     result.stats.queue_wait = admission.queue_wait();
@@ -346,6 +404,10 @@ impl Cluster {
                 // must exit immediately and release their slot — retrying
                 // them here would defeat the governor's back-pressure.
                 Err(e) if e.is_failover_retryable() => {
+                    if let Some(t) = trace {
+                        t.event("attempt.failed", "attempt", Trace::COORD_LANE, e.to_string());
+                    }
+                    drop(attempt_span);
                     chain.push(e.to_string());
                     if attempt >= self.config.max_retries {
                         return Err(IcError::RetriesExhausted { attempts: attempt + 1, chain });
@@ -360,16 +422,31 @@ impl Cluster {
                     // closed rejoin before replanning.
                     self.network.refresh_liveness();
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if let Some(t) = trace {
+                        if matches!(e, IcError::ResourcesRevoked { .. }) {
+                            t.event("governor.revoked", "query", Trace::COORD_LANE, e.to_string());
+                        }
+                    }
+                    return Err(e);
+                }
             }
         }
     }
 
-    /// One planning + execution attempt (no failover).
-    fn query_attempt(&self, sql: &str) -> IcResult<QueryResult> {
+    /// One planning + execution attempt (no failover). `tctx` carries the
+    /// query's trace plus the enclosing attempt span, when tracing.
+    fn query_attempt(
+        &self,
+        sql: &str,
+        tctx: Option<(&Arc<Trace>, SpanId)>,
+    ) -> IcResult<QueryResult> {
         let plan_start = Instant::now();
-        let ast = match parse_sql(sql)? {
-            Statement::Query(q) => q,
+        let (ast, analyze) = match parse_sql(sql)? {
+            Statement::Query(q) => (q, false),
+            // EXPLAIN ANALYZE executes the query (traced) and renders the
+            // annotated plan instead of the result rows.
+            Statement::ExplainAnalyze(q) => (q, true),
             Statement::Explain(q) => {
                 let bound = bind_statement(&q, &self.catalog)?;
                 let optimized = optimize_query(bound.plan, &self.catalog, &self.flags)?;
@@ -389,17 +466,49 @@ impl Cluster {
             }
             _ => return Err(IcError::Exec("use run() for DDL statements".into())),
         };
+        let plan_span =
+            tctx.map(|(t, parent)| t.span("plan", "plan", Some(parent), Trace::COORD_LANE));
         let bound = bind_statement(&ast, &self.catalog)?;
         let optimized = optimize_query(bound.plan, &self.catalog, &self.flags)?;
+        drop(plan_span);
         let plan_time = plan_start.elapsed();
+        // EXPLAIN ANALYZE needs a trace even when the caller didn't ask for
+        // one; it then reads the actuals back out of the attempt table.
+        let exec_trace: Option<Arc<Trace>> = match (&tctx, analyze) {
+            (Some((t, _)), _) => Some(Arc::clone(t)),
+            (None, true) => Some(Trace::new()),
+            (None, false) => None,
+        };
         let opts = ExecOptions {
             variant_fragments: self.flags.variant_fragments,
             timeout: self.config.exec_timeout,
             memory_limit_rows: self.config.memory_limit_rows,
             pool: Some(self.governor.pool().clone()),
+            trace: exec_trace.clone(),
+            trace_parent: tctx.map(|(_, s)| s),
             ..ExecOptions::default()
         };
         let (rows, stats) = execute_plan(&optimized.plan, &self.catalog, &self.network, &opts)?;
+        if analyze {
+            let trace = exec_trace.ok_or_else(|| {
+                IcError::Internal("EXPLAIN ANALYZE executed without a trace".into())
+            })?;
+            let text = TraceSink::new(trace).explain_analyze().ok_or_else(|| {
+                IcError::Internal("EXPLAIN ANALYZE executed without registering an attempt".into())
+            })?;
+            return Ok(QueryResult {
+                columns: vec!["plan".into()],
+                rows: text
+                    .lines()
+                    .map(|l| Row(vec![ic_common::Datum::str(l)]))
+                    .collect(),
+                stats,
+                plan_time,
+                rule_firings: optimized.rule_firings,
+                reorder_disabled: optimized.reorder_disabled,
+                retries: 0,
+            });
+        }
         Ok(QueryResult {
             columns: bound.output_names,
             rows,
@@ -414,7 +523,7 @@ impl Cluster {
     /// EXPLAIN: the optimized physical plan as text.
     pub fn explain(&self, sql: &str) -> IcResult<String> {
         let ast = match parse_sql(sql)? {
-            Statement::Query(q) | Statement::Explain(q) => q,
+            Statement::Query(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
             _ => return Err(IcError::Exec("EXPLAIN requires a SELECT".into())),
         };
         let bound = bind_statement(&ast, &self.catalog)?;
@@ -565,6 +674,52 @@ mod tests {
             r.rows.iter().map(|row| row.0[0].as_str().unwrap().to_string()).collect();
         assert!(text.iter().any(|l| l.contains("TableScan(sales)")), "{text:?}");
         assert!(text.iter().any(|l| l.contains("HashAggregate")), "{text:?}");
+    }
+
+    #[test]
+    fn explain_analyze_annotates_actuals() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        let r = cluster
+            .query(
+                "EXPLAIN ANALYZE SELECT * FROM employee INNER JOIN sales ON employee.id = sales.emp_id",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["plan".to_string()]);
+        let text: Vec<String> =
+            r.rows.iter().map(|row| row.0[0].as_str().unwrap().to_string()).collect();
+        // Every line carries est-vs-actual rows, batches and self-time.
+        assert!(text.iter().all(|l| l.contains("rows est=") && l.contains(" act=")), "{text:?}");
+        assert!(text.iter().all(|l| l.contains("batches=") && l.contains("self=")), "{text:?}");
+        // The root's actual row count is the join cardinality (1000 sales
+        // rows, each matching one employee).
+        assert!(text[0].contains("act=1000"), "{text:?}");
+        // A distributed join ships data: some Exchange line reports bytes.
+        assert!(
+            text.iter().any(|l| l.contains("Exchange") && l.contains("shipped=")),
+            "{text:?}"
+        );
+    }
+
+    #[test]
+    fn query_traced_produces_wellformed_trace() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        let (result, trace) = cluster.query_traced(
+            0,
+            "SELECT dept, count(*) FROM employee INNER JOIN sales ON employee.id = sales.emp_id GROUP BY dept",
+        );
+        let result = result.unwrap();
+        trace.validate().expect("well-formed span tree");
+        let spans = trace.spans();
+        for cat in ["query", "plan", "exec", "fragment", "operator"] {
+            assert!(spans.iter().any(|s| s.cat == cat), "missing {cat} span");
+        }
+        // The root operator's traced rows equal the rows the client got.
+        let attempts = trace.attempts();
+        let attempt = attempts.last().expect("one attempt");
+        assert_eq!(attempt.rows(0), result.rows.len() as u64);
+        // Chrome export stays structurally sound on a real query.
+        let json = ic_common::obs::chrome_trace_json(&trace);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

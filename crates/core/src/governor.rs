@@ -93,6 +93,11 @@ pub struct Governor {
     queued_total: AtomicU64,
     shed: AtomicU64,
     queue_wait_hist: [AtomicU64; 6],
+    /// Global metric handles (`core.admission.*`), resolved once at
+    /// construction so admit/shed paths never take the registry lock.
+    m_admitted: Arc<ic_common::obs::Counter>,
+    m_shed: Arc<ic_common::obs::Counter>,
+    m_queue_wait_us: Arc<ic_common::obs::Histogram>,
 }
 
 fn lock_admit(gov: &Governor) -> MutexGuard<'_, AdmitState> {
@@ -102,8 +107,11 @@ fn lock_admit(gov: &Governor) -> MutexGuard<'_, AdmitState> {
 }
 
 impl Governor {
+    /// Build a governor (admission state + shared memory pool) from its
+    /// sizing knobs.
     pub fn new(cfg: GovernorConfig) -> Arc<Governor> {
         let pool = MemoryPool::with_grant_timeout(cfg.pool_budget_cells, cfg.grant_timeout);
+        let reg = ic_common::obs::MetricsRegistry::global();
         Arc::new(Governor {
             cfg,
             pool,
@@ -113,6 +121,9 @@ impl Governor {
             queued_total: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             queue_wait_hist: Default::default(),
+            m_admitted: reg.counter("core.admission.admitted"),
+            m_shed: reg.counter("core.admission.shed"),
+            m_queue_wait_us: reg.histogram("core.admission.queue_wait_us"),
         })
     }
 
@@ -121,6 +132,7 @@ impl Governor {
         &self.pool
     }
 
+    /// The sizing knobs this governor was built with.
     pub fn config(&self) -> &GovernorConfig {
         &self.cfg
     }
@@ -152,6 +164,7 @@ impl Governor {
                 // not queueing.
                 let queue_wait = if queued { arrive.elapsed() } else { Duration::ZERO };
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.m_admitted.inc();
                 if queued {
                     self.record_queue_wait(queue_wait);
                 }
@@ -166,14 +179,14 @@ impl Governor {
                 if st.queued >= self.cfg.max_queue {
                     let hint = self.retry_after_ms(&st);
                     drop(st);
-                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    self.note_shed(None);
                     return Err(IcError::Overloaded { retry_after_ms: hint });
                 }
                 if let Some(d) = deadline {
                     if arrive + self.projected_wait(&st) > d {
                         let hint = self.retry_after_ms(&st);
                         drop(st);
-                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        self.note_shed(None);
                         return Err(IcError::Overloaded { retry_after_ms: hint });
                     }
                 }
@@ -186,7 +199,9 @@ impl Governor {
                 dec(&mut st.queued_per_client, client);
                 let hint = self.retry_after_ms(&st);
                 drop(st);
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                // A shed-after-queueing query *did* wait; its wasted wait
+                // belongs in the histogram just like an admitted query's.
+                self.note_shed(Some(arrive.elapsed()));
                 return Err(IcError::Overloaded { retry_after_ms: hint });
             }
             let (guard, _) = self
@@ -235,6 +250,17 @@ impl Governor {
             .position(|&b| ms < b)
             .unwrap_or(QUEUE_WAIT_BUCKETS_MS.len());
         self.queue_wait_hist[idx].fetch_add(1, Ordering::Relaxed);
+        self.m_queue_wait_us.record(wait.as_micros() as u64);
+    }
+
+    /// Count one shed in the local counter and the global metric; a query
+    /// shed *after* queueing also contributes its (wasted) queue wait.
+    fn note_shed(&self, queued_wait: Option<Duration>) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.m_shed.inc();
+        if let Some(wait) = queued_wait {
+            self.record_queue_wait(wait);
+        }
     }
 
     fn release(&self, client: u64, service: Duration) {
@@ -301,6 +327,7 @@ impl Admission {
         self.queue_wait
     }
 
+    /// The client id this slot was granted to.
     pub fn client(&self) -> u64 {
         self.client
     }
@@ -323,11 +350,14 @@ pub struct GovernorStats {
     pub shed: u64,
     /// Memory leases revoked under pool pressure.
     pub revoked: u64,
+    /// Fixed pool size (cells).
     pub pool_capacity: u64,
     /// Cells currently granted out — zero when the cluster is idle (the
     /// "no budget leaked" invariant).
     pub pool_in_use: u64,
+    /// High-water mark of granted cells.
     pub peak_pool_used: u64,
+    /// Most queries ever running simultaneously.
     pub peak_concurrent: usize,
     /// Mean observed service time, µs (EWMA).
     pub ewma_service_us: u64,

@@ -1,0 +1,90 @@
+//! Property tests for query-level tracing: across randomized table sizes,
+//! group cardinalities, and query shapes (scans, filters, co-located and
+//! redistributing joins, partial/final aggregation, sorts), every traced
+//! execution yields a well-formed span tree — every span closed, intervals
+//! nested inside their parents — with all five span categories present,
+//! per-operator actuals that agree with the result, and Chrome JSON that
+//! stays structurally sound.
+
+use ic_common::{Datum, Row};
+use ic_core::{Cluster, ClusterConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn traced_cluster(rows: i64, groups: i64) -> Cluster {
+    let cluster = Cluster::new(ClusterConfig::test_default());
+    cluster
+        .run("CREATE TABLE fact (id BIGINT, grp BIGINT, val BIGINT, PRIMARY KEY (id))")
+        .unwrap();
+    cluster.run("CREATE TABLE dim (grp BIGINT, name VARCHAR, PRIMARY KEY (grp))").unwrap();
+    let fact: Vec<Row> = (0..rows)
+        .map(|i| Row(vec![Datum::Int(i), Datum::Int(i % groups), Datum::Int(i * 7 % 101)]))
+        .collect();
+    let dim: Vec<Row> =
+        (0..groups).map(|g| Row(vec![Datum::Int(g), Datum::str(format!("g{g}"))])).collect();
+    cluster.insert("fact", fact).unwrap();
+    cluster.insert("dim", dim).unwrap();
+    cluster.analyze_all().unwrap();
+    cluster
+}
+
+/// The query shapes the executor can produce, parameterized so each case
+/// exercises a different plan tree.
+fn query_shape(shape: usize, groups: i64) -> String {
+    match shape % 5 {
+        0 => "SELECT * FROM fact".into(),
+        1 => format!("SELECT id, val FROM fact WHERE grp < {}", (groups / 2).max(1)),
+        // Redistributing join: dim is keyed by grp, fact by id, so joining
+        // on grp forces an exchange.
+        2 => "SELECT name, count(*) AS n FROM fact INNER JOIN dim ON fact.grp = dim.grp \
+              GROUP BY name"
+            .into(),
+        3 => "SELECT grp, sum(val) AS s FROM fact GROUP BY grp ORDER BY grp".into(),
+        _ => "SELECT fact.id, dim.name FROM fact INNER JOIN dim ON fact.grp = dim.grp \
+              ORDER BY fact.id LIMIT 50"
+            .into(),
+    }
+}
+
+proptest! {
+    // Each case builds a cluster and runs a full distributed query.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn traced_queries_yield_wellformed_span_trees(
+        rows in 1i64..400,
+        groups in 1i64..20,
+        shape in 0usize..5,
+    ) {
+        let cluster = traced_cluster(rows, groups);
+        let sql = query_shape(shape, groups);
+        let (result, trace) = cluster.query_traced(0, &sql);
+        let result = result.expect("traced query");
+
+        // Span tree: closed, nested, categorized.
+        trace.validate().expect("span tree well-formed");
+        prop_assert_eq!(trace.open_spans(), 0);
+        let cats: HashSet<&'static str> = trace.spans().iter().map(|s| s.cat).collect();
+        for cat in ["query", "plan", "exec", "fragment", "operator"] {
+            prop_assert!(cats.contains(cat), "missing span category {} for {}", cat, sql);
+        }
+
+        // Per-operator actuals: the root operator's recorded row count is
+        // exactly what the client received.
+        let attempt = trace.attempts().into_iter().last().expect("one attempt");
+        prop_assert_eq!(attempt.rows(0), result.rows.len() as u64);
+
+        // Renderers stay sound on every shape.
+        let sink = ic_common::obs::TraceSink::new(trace);
+        let text = sink.explain_analyze().expect("explain analyze");
+        for line in text.lines() {
+            prop_assert!(
+                line.contains("rows est=") && line.contains(" act="),
+                "unannotated plan line: {}", line
+            );
+        }
+        let json = sink.chrome_json();
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        prop_assert!(json.starts_with("{\"traceEvents\":["));
+    }
+}

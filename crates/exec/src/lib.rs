@@ -8,6 +8,7 @@
 //! splitter/duplicator sources create runtime sub-partitions
 //! (Algorithm 3, §5.3).
 
+pub mod analyze;
 pub mod fragment;
 pub mod kernels;
 pub mod operators;

@@ -3,6 +3,7 @@
 
 use crate::kernels::{GroupTable, JoinHashTable};
 use ic_common::agg::Accumulator;
+use ic_common::obs::{AttemptStats, Counter, SpanId, Trace};
 use ic_common::row::BATCH_SIZE;
 use ic_common::{Batch, Datum, Expr, IcError, IcResult, MemoryLease, MemoryPool, Row};
 use ic_plan::ops::{AggCall, AggPhase, JoinKind, SortKey};
@@ -11,6 +12,36 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-query observability context, attached to the [`ControlBlock`] when
+/// the caller requested a trace. Carries the trace (clock + span store),
+/// the current attempt's per-operator aggregate table, and pre-resolved
+/// global metric handles so hot paths never take the registry lock.
+#[derive(Debug, Clone)]
+pub struct ExecObs {
+    /// The query's trace; also the clock all operator spans are keyed to.
+    pub trace: Arc<Trace>,
+    /// Estimated-vs-actual table for the current execution attempt.
+    pub attempt: Arc<AttemptStats>,
+    /// Global `exec.op.rows` counter (resolved once per query).
+    pub op_rows: Arc<Counter>,
+    /// Global `exec.op.batches` counter (resolved once per query).
+    pub op_batches: Arc<Counter>,
+}
+
+impl ExecObs {
+    /// Build an obs context for one attempt, resolving the global metric
+    /// handles up front.
+    pub fn new(trace: Arc<Trace>, attempt: Arc<AttemptStats>) -> ExecObs {
+        let reg = ic_common::obs::MetricsRegistry::global();
+        ExecObs {
+            trace,
+            attempt,
+            op_rows: reg.counter("exec.op.rows"),
+            op_batches: reg.counter("exec.op.batches"),
+        }
+    }
+}
 
 /// Shared per-query control: wall-clock deadline (the paper's runtime
 /// limit), a cancellation flag set when any fragment fails, and the
@@ -23,6 +54,7 @@ pub struct ControlBlock {
     pub cancelled: AtomicBool,
     pub limit_ms: u64,
     lease: MemoryLease,
+    obs: Option<ExecObs>,
 }
 
 impl ControlBlock {
@@ -47,11 +79,24 @@ impl ControlBlock {
         limit_ms: u64,
         lease: MemoryLease,
     ) -> Arc<ControlBlock> {
+        Self::with_lease_obs(deadline, limit_ms, lease, None)
+    }
+
+    /// Governed + traced form: as [`ControlBlock::with_lease`], with an
+    /// optional observability context the operator open/next/close hooks
+    /// report into.
+    pub fn with_lease_obs(
+        deadline: Option<Instant>,
+        limit_ms: u64,
+        lease: MemoryLease,
+        obs: Option<ExecObs>,
+    ) -> Arc<ControlBlock> {
         Arc::new(ControlBlock {
             deadline,
             cancelled: AtomicBool::new(false),
             limit_ms,
             lease,
+            obs,
         })
     }
 
@@ -86,6 +131,7 @@ impl ControlBlock {
             return Err(IcError::Exec("query cancelled".into()));
         }
         if let Some(d) = self.deadline {
+            // ic-lint: allow(L007) because the deadline check reads the wall clock that defines the runtime cap, not a span timestamp
             if Instant::now() > d {
                 return Err(IcError::ExecTimeout { limit_ms: self.limit_ms });
             }
@@ -109,7 +155,128 @@ impl ControlBlock {
         if self.cancelled.load(Ordering::Relaxed) {
             return true;
         }
+        // ic-lint: allow(L007) because the deadline check reads the wall clock that defines the runtime cap, not a span timestamp
         self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    // ------------------------------------------- operator tracing hooks
+
+    /// The query's observability context, if tracing is enabled.
+    pub fn obs(&self) -> Option<&ExecObs> {
+        self.obs.as_ref()
+    }
+
+    /// Open hook: the current trace-clock reading in nanoseconds (0 when
+    /// untraced). Operators take this before and after work to attribute
+    /// busy time; the trace clock is the only sanctioned time source here
+    /// (ic-lint rule L007).
+    pub fn op_now_ns(&self) -> u64 {
+        self.obs.as_ref().map_or(0, |o| o.trace.now_ns())
+    }
+
+    /// Next hook: charge one `next_batch` call against plan node `node` —
+    /// `rows` emitted, `busy_ns` inside the subtree, `produced` whether a
+    /// batch came back. No-op when untraced.
+    pub fn op_next(&self, node: u32, rows: u64, busy_ns: u64, produced: bool) {
+        if let Some(o) = &self.obs {
+            o.attempt.record_next(node, rows, busy_ns, produced);
+        }
+    }
+
+    /// Close hook: record the operator instance's lifetime span and flush
+    /// its totals to the global metrics registry. No-op when untraced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn op_close(
+        &self,
+        node: u32,
+        label: &str,
+        lane: u32,
+        parent: Option<SpanId>,
+        open_ns: u64,
+        rows: u64,
+        batches: u64,
+        busy_ns: u64,
+    ) {
+        if let Some(o) = &self.obs {
+            o.op_rows.add(rows);
+            o.op_batches.add(batches);
+            o.trace.record_span(
+                label,
+                "operator",
+                parent,
+                lane,
+                open_ns,
+                o.trace.now_ns(),
+                vec![("node", u64::from(node)), ("rows", rows), ("batches", batches), ("busy_ns", busy_ns)],
+            );
+        }
+    }
+}
+
+/// Transparent tracing wrapper: decorates any [`RowSource`] with the
+/// open/next/close hooks on the shared [`ControlBlock`]. Built only when
+/// the query is traced, so untraced execution pays nothing.
+pub struct TracedSource {
+    inner: BoxedSource,
+    ctrl: Arc<ControlBlock>,
+    node: u32,
+    label: String,
+    lane: u32,
+    parent: Option<SpanId>,
+    open_ns: u64,
+    rows: u64,
+    batches: u64,
+    busy_ns: u64,
+}
+
+impl TracedSource {
+    /// Wrap `inner` (the operator instance for plan node `node`), counting
+    /// it as one runtime instance and opening its lifetime span.
+    pub fn new(
+        inner: BoxedSource,
+        ctrl: Arc<ControlBlock>,
+        node: u32,
+        label: String,
+        lane: u32,
+        parent: Option<SpanId>,
+    ) -> TracedSource {
+        if let Some(o) = ctrl.obs() {
+            o.attempt.record_instance(node);
+        }
+        let open_ns = ctrl.op_now_ns();
+        TracedSource { inner, ctrl, node, label, lane, parent, open_ns, rows: 0, batches: 0, busy_ns: 0 }
+    }
+}
+
+impl RowSource for TracedSource {
+    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+        let t0 = self.ctrl.op_now_ns();
+        let result = self.inner.next_batch();
+        let dt = self.ctrl.op_now_ns().saturating_sub(t0);
+        self.busy_ns += dt;
+        let (rows, produced) = match &result {
+            Ok(Some(b)) => (b.len() as u64, true),
+            _ => (0, false),
+        };
+        self.rows += rows;
+        self.batches += u64::from(produced);
+        self.ctrl.op_next(self.node, rows, dt, produced);
+        result
+    }
+}
+
+impl Drop for TracedSource {
+    fn drop(&mut self) {
+        self.ctrl.op_close(
+            self.node,
+            &self.label,
+            self.lane,
+            self.parent,
+            self.open_ns,
+            self.rows,
+            self.batches,
+            self.busy_ns,
+        );
     }
 }
 
@@ -550,6 +717,9 @@ pub struct HashJoinExec {
     /// high-fan-out probes resume across bounded output batches.
     current: Option<Batch>,
     li: usize,
+    /// Probe rows consumed so far; flushed to `exec.join.probe_rows` once
+    /// on drop so the hot loop only bumps a local integer.
+    probed: u64,
     pub ctrl: Arc<ControlBlock>,
 }
 
@@ -576,7 +746,18 @@ impl HashJoinExec {
             table: None,
             current: None,
             li: 0,
+            probed: 0,
             ctrl,
+        }
+    }
+}
+
+impl Drop for HashJoinExec {
+    fn drop(&mut self) {
+        if self.probed > 0 {
+            ic_common::obs::MetricsRegistry::global()
+                .counter("exec.join.probe_rows")
+                .add(self.probed);
         }
     }
 }
@@ -597,6 +778,9 @@ impl RowSource for HashJoinExec {
                     table.insert(row);
                 }
             }
+            ic_common::obs::MetricsRegistry::global()
+                .counter("exec.join.build_rows")
+                .add(table.len() as u64);
             self.table = Some(table);
         }
         let Some(table) = self.table.as_ref() else {
@@ -625,6 +809,7 @@ impl RowSource for HashJoinExec {
             while self.li < batch.len() {
                 let left_row = &batch[self.li];
                 self.li += 1;
+                self.probed += 1;
                 emit_matches(
                     self.kind,
                     left_row,
@@ -810,6 +995,9 @@ impl HashAggExec {
         if self.group.is_empty() {
             groups.ensure_scalar_group(&self.aggs);
         }
+        ic_common::obs::MetricsRegistry::global()
+            .counter("exec.agg.groups")
+            .add(groups.len() as u64);
         self.groups = Some(groups);
         Ok(())
     }

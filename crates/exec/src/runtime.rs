@@ -3,13 +3,15 @@
 //! thread (§3.2.3's "each fragment is executed in a dedicated thread"),
 //! and collect the root fragment's rows.
 
+use crate::analyze::{enumerate_ops, OpIndex};
 use crate::fragment::{fragment_plan, ExchangeId, ExchangeRegistry, Sink};
 use crate::operators::*;
 use crate::variant::{plan_variants, SourceMode, VariantPlan};
+use ic_common::obs::{AttemptStats, SpanId, Trace};
 use ic_common::{Batch, IcError, IcResult, Row};
 use ic_net::{
-    net_channel, AbortFn, Assignment, FailoverError, NetError, NetReceiver, NetSender, Network,
-    SiteId, WireSize,
+    net_channel, AbortFn, Assignment, FailoverError, NetError, NetObs, NetReceiver, NetSender,
+    Network, SiteId, WireSize,
 };
 use ic_plan::ops::{PhysOp, PhysPlan};
 use ic_plan::Distribution;
@@ -35,6 +37,12 @@ pub struct ExecOptions {
     /// `None` (standalone executor use) accounts against a private
     /// unbounded pool, so only `memory_limit_rows` applies.
     pub pool: Option<Arc<ic_common::MemoryPool>>,
+    /// Per-query trace to record spans and per-operator actuals into.
+    /// `None` (the default) executes fully uninstrumented.
+    pub trace: Option<Arc<Trace>>,
+    /// Parent span (e.g. the coordinator's `attempt` span) for everything
+    /// this execution records.
+    pub trace_parent: Option<SpanId>,
 }
 
 impl Default for ExecOptions {
@@ -45,6 +53,8 @@ impl Default for ExecOptions {
             channel_window: 16,
             memory_limit_rows: 60_000_000,
             pool: None,
+            trace: None,
+            trace_parent: None,
         }
     }
 }
@@ -202,6 +212,13 @@ struct ExchangeSender {
 }
 
 impl ExchangeSender {
+    /// Attach transfer-span recording to every endpoint (traced queries).
+    fn set_obs(&mut self, obs: NetObs) {
+        for (_, _, tx) in &mut self.endpoints {
+            tx.set_obs(obs.clone());
+        }
+    }
+
     fn endpoints_at(&self, site: SiteId) -> Vec<&NetSender<Msg>> {
         self.endpoints
             .iter()
@@ -293,6 +310,9 @@ struct ReceiverSource {
     rx: NetReceiver<Msg>,
     remaining_eofs: usize,
     ctrl: Arc<ControlBlock>,
+    /// When traced: (attempt table, Exchange node index) to credit shipped
+    /// bytes to — the consumer side observes exactly what crossed the wire.
+    obs: Option<(Arc<AttemptStats>, u32)>,
 }
 
 impl RowSource for ReceiverSource {
@@ -303,7 +323,12 @@ impl RowSource for ReceiverSource {
                 return Ok(None);
             }
             match self.rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(Msg::Batch(b)) => return Ok(Some(b)),
+                Ok(Msg::Batch(b)) => {
+                    if let Some((attempt, node)) = &self.obs {
+                        attempt.record_shipped(*node, b.wire_size() as u64);
+                    }
+                    return Ok(Some(b));
+                }
                 Ok(Msg::Eof) => {
                     self.remaining_eofs -= 1;
                 }
@@ -330,6 +355,12 @@ struct BuildCtx<'a> {
     registry: &'a ExchangeRegistry,
     receivers: FxHashMap<ExchangeId, ReceiverSource>,
     ctrl: Arc<ControlBlock>,
+    /// Plan-node index for tracing; `None` when the query is untraced.
+    obs_index: Option<Arc<OpIndex>>,
+    /// Trace lane of this fragment instance's thread.
+    lane: u32,
+    /// The fragment-instance span every operator span parents to.
+    parent_span: Option<SpanId>,
 }
 
 impl BuildCtx<'_> {
@@ -360,7 +391,7 @@ impl BuildCtx<'_> {
     }
 
     fn build(&mut self, node: &Arc<PhysPlan>) -> IcResult<BoxedSource> {
-        Ok(match &node.op {
+        let src: BoxedSource = match &node.op {
             PhysOp::TableScan { table, .. } => {
                 let mode = self.vplan.scan_mode(node);
                 Box::new(ScanSource::new(
@@ -474,7 +505,22 @@ impl BuildCtx<'_> {
                 })?;
                 Box::new(rx)
             }
-        })
+        };
+        // Traced queries wrap every operator in the open/next/close hooks;
+        // untraced queries return the bare operator (zero overhead).
+        if let Some(index) = &self.obs_index {
+            if let Some(idx) = index.of(node) {
+                return Ok(Box::new(TracedSource::new(
+                    src,
+                    self.ctrl.clone(),
+                    idx,
+                    node.label(),
+                    self.lane,
+                    self.parent_span,
+                )));
+            }
+        }
+        Ok(src)
     }
 }
 
@@ -504,6 +550,20 @@ pub fn execute_plan(
         .map(|f| plan_variants(f, &registry, opts.variant_fragments))
         .collect();
 
+    // Traced queries: enumerate the (uniquified) plan in pre-order, register
+    // this attempt's estimated-vs-actual table, and resolve metric handles
+    // once so operator hot paths never touch the registry lock.
+    let obs_ctx: Option<(ExecObs, Arc<OpIndex>)> = opts.trace.as_ref().map(|trace| {
+        let (metas, index) = enumerate_ops(&plan, &registry);
+        let attempt = trace.register_attempt(metas);
+        (ExecObs::new(trace.clone(), attempt), Arc::new(index))
+    });
+    let mut exec_span = opts
+        .trace
+        .as_ref()
+        .map(|t| t.span("execute", "exec", opts.trace_parent, Trace::COORD_LANE));
+    let exec_span_id = exec_span.as_ref().map(|g| g.id());
+
     let deadline = opts.timeout.map(|t| start + t);
     let limit_ms = opts.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
     // Lease the query's buffer budget: from the shared governor pool when
@@ -514,7 +574,8 @@ pub fn execute_plan(
         Some(pool) => pool.lease(opts.memory_limit_rows),
         None => ic_common::MemoryPool::unbounded().lease(opts.memory_limit_rows),
     };
-    let ctrl = ControlBlock::with_lease(deadline, limit_ms, lease);
+    let ctrl =
+        ControlBlock::with_lease_obs(deadline, limit_ms, lease, obs_ctx.as_ref().map(|(o, _)| o.clone()));
     // Polled by in-flight transfers so bandwidth sleeps stop at the
     // deadline instead of overshooting it.
     let abort: Arc<AbortFn> = {
@@ -589,6 +650,9 @@ pub fn execute_plan(
                             rx,
                             remaining_eofs: eof_count[&ex],
                             ctrl: ctrl.clone(),
+                            obs: obs_ctx.as_ref().and_then(|(o, ix)| {
+                                ix.of_exchange(ex).map(|n| (o.attempt.clone(), n))
+                            }),
                         },
                     );
                 }
@@ -612,7 +676,31 @@ pub fn execute_plan(
                 let nvariants = vplans[fi].variants;
                 let error_slot = error_slot.clone();
                 let assignment2 = assignment.clone();
+                let obs_thread = obs_ctx.clone();
                 handles.push((fi, site, vid, std::thread::spawn(move || {
+                    // One trace lane + fragment span per instance thread;
+                    // declared before `run` so it closes after every
+                    // operator (and its span) has been dropped.
+                    let (lane, frag_span) = match &obs_thread {
+                        Some((o, _)) => {
+                            let lane = o.trace.lane(format!("f{fi} @{site} v{vid}"));
+                            let span = o.trace.span(
+                                format!("fragment f{fi} @{site} v{vid}"),
+                                "fragment",
+                                exec_span_id,
+                                lane,
+                            );
+                            (lane, Some(span))
+                        }
+                        None => (Trace::COORD_LANE, None),
+                    };
+                    if let Some((o, _)) = &obs_thread {
+                        sender.set_obs(NetObs {
+                            trace: o.trace.clone(),
+                            lane,
+                            parent: frag_span.as_ref().map(|g| g.id()),
+                        });
+                    }
                     let run = || -> IcResult<()> {
                         let mut ctx = BuildCtx {
                             catalog: &catalog,
@@ -624,6 +712,9 @@ pub fn execute_plan(
                             registry: &registry,
                             receivers,
                             ctrl: ctrl2.clone(),
+                            obs_index: obs_thread.as_ref().map(|(_, ix)| ix.clone()),
+                            lane,
+                            parent_span: frag_span.as_ref().map(|g| g.id()),
                         };
                         let mut src = ctx.build(&root)?;
                         while let Some(batch) = src.next_batch()? {
@@ -649,6 +740,14 @@ pub fn execute_plan(
     // --- run the root fragment on this thread ---------------------------
     let root = &fragments[0];
     debug_assert!(root.is_root());
+    let root_span = obs_ctx.as_ref().map(|(o, _)| {
+        o.trace.span(
+            format!("fragment f0 @{} (root)", assignment.coordinator()),
+            "fragment",
+            exec_span_id,
+            Trace::COORD_LANE,
+        )
+    });
     let mut receivers = FxHashMap::default();
     let mut root_result: IcResult<Vec<Row>> = (|| {
         for ex in root.receiver_exchanges(&registry) {
@@ -657,7 +756,14 @@ pub fn execute_plan(
                 .ok_or_else(|| IcError::Exec("root receiver missing".into()))?;
             receivers.insert(
                 ex,
-                ReceiverSource { rx, remaining_eofs: eof_count[&ex], ctrl: ctrl.clone() },
+                ReceiverSource {
+                    rx,
+                    remaining_eofs: eof_count[&ex],
+                    ctrl: ctrl.clone(),
+                    obs: obs_ctx.as_ref().and_then(|(o, ix)| {
+                        ix.of_exchange(ex).map(|n| (o.attempt.clone(), n))
+                    }),
+                },
             );
         }
         let mut ctx = BuildCtx {
@@ -670,10 +776,14 @@ pub fn execute_plan(
             registry: &registry,
             receivers,
             ctrl: ctrl.clone(),
+            obs_index: obs_ctx.as_ref().map(|(_, ix)| ix.clone()),
+            lane: Trace::COORD_LANE,
+            parent_span: root_span.as_ref().map(|g| g.id()),
         };
         let src = ctx.build(&root.root)?;
         drain(src)
     })();
+    drop(root_span);
 
     if root_result.is_err() {
         ctrl.cancel();
@@ -736,6 +846,12 @@ pub fn execute_plan(
         }
     }
     let peak_buffered_rows = ctrl.lease().peak_used();
+    if let Some(g) = &mut exec_span {
+        g.arg("fragments", fragments.len() as u64);
+        g.arg("threads", threads as u64 + 1);
+        g.arg("peak_buffered_cells", peak_buffered_rows);
+    }
+    drop(exec_span);
     let rows = root_result?;
     let (msgs1, bytes1, _) = network.stats.snapshot();
     Ok((

@@ -8,6 +8,7 @@
 //! | L004 | no wall-clock (`Instant::now`/`SystemTime`/`thread::sleep`) in simulation-clock code |
 //! | L005 | no cycles in the cross-crate lock-acquisition-order graph |
 //! | L006 | buffering operators in `ic-exec` grow buffers only through the `MemoryLease` protocol (no private `buffered_rows`/`buffered_cells` counters) |
+//! | L007 | traced code paths (`ic_common::obs`, `ic-exec` operators) read time only via `Trace::now_ns`, never `Instant::now`/`SystemTime` |
 //!
 //! Any rule except L005 can be suppressed per-site with a pragma that must
 //! carry a justification:
@@ -21,7 +22,7 @@
 
 use crate::tokenizer::{strip_test_regions, tokenize, Comment, Tok, TokKind};
 
-pub const RULES: [&str; 6] = ["L001", "L002", "L003", "L004", "L005", "L006"];
+pub const RULES: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -108,6 +109,12 @@ fn in_scope(rule: &str, ctx: &FileCtx, path: &str) -> bool {
         }
         "L005" => ctx.is_src,
         "L006" => ctx.is_src && krate == "exec",
+        "L007" => {
+            (ctx.is_src
+                && krate == "common"
+                && path.replace('\\', "/").contains("src/obs/"))
+                || (ctx.is_src && krate == "exec" && ctx.file == "operators.rs")
+        }
         _ => false,
     }
 }
@@ -212,6 +219,9 @@ pub fn lint_files(files: &[FileInput]) -> Report {
         }
         if in_scope("L006", &ctx, &f.path) {
             findings.extend(rule_l006(&toks));
+        }
+        if in_scope("L007", &ctx, &f.path) {
+            findings.extend(rule_l007(&toks));
         }
         if in_scope("L005", &ctx, &f.path) {
             lock_edges.extend(crate::lockgraph::extract_edges(&f.path, &toks));
@@ -400,6 +410,41 @@ fn rule_l006(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
     out
 }
 
+/// L007: raw wall-clock reads in traced code paths. Span timestamps must
+/// all derive from one clock — the trace epoch ([`Trace::now_ns`]) — or
+/// span intervals stop nesting and `Trace::validate` (and every duration in
+/// `EXPLAIN ANALYZE`) becomes untrustworthy. A second motivation is cost:
+/// the traced hot path budget is two clock reads per batch, and stray
+/// `Instant::now()` calls sprinkled into operators silently grow it.
+///
+/// [`Trace::now_ns`]: ../../ic_common/obs/struct.Trace.html#method.now_ns
+fn rule_l007(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push((
+                "L007",
+                t.line,
+                "`SystemTime` in a traced code path; derive timestamps from Trace::now_ns".into(),
+            ));
+        }
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|x| x.is_ident("now"))
+        {
+            out.push((
+                "L007",
+                t.line,
+                "`Instant::now()` in a traced code path; use Trace::now_ns so every \
+                 timestamp shares the trace epoch"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +531,25 @@ mod tests {
         // Outside ic-exec src the rule does not apply.
         assert!(lint_one("crates/core/src/cluster.rs", src).violations.is_empty());
         assert!(lint_one("crates/exec/tests/a.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn l007_flags_wall_clock_in_traced_paths() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let r = lint_one("crates/common/src/obs/trace.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L007").count(), 2);
+        let r = lint_one("crates/exec/src/operators.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L007").count(), 2);
+        // A bare `Instant` type reference (fields, signatures) is fine —
+        // only the clock *read* is policed.
+        let ok = "struct S { deadline: Option<Instant> } fn g(d: Instant) {}";
+        assert!(lint_one("crates/exec/src/operators.rs", ok).violations.is_empty());
+        // ic-common outside obs/ and other exec files are out of scope.
+        assert!(lint_one("crates/common/src/lease.rs", src).violations.is_empty());
+        assert!(lint_one("crates/exec/src/kernels.rs", src)
+            .violations
+            .iter()
+            .all(|v| v.rule != "L007"));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! L007 fixture: raw wall-clock reads inside a traced code path. Span
+//! timestamps must all derive from the trace epoch (`Trace::now_ns`);
+//! a stray `Instant::now()` produces intervals on a different clock that
+//! break span nesting and inflate the traced hot-path budget.
+
+use std::time::Instant;
+
+pub struct LeakyOperator {
+    started_ns: u64,
+}
+
+impl LeakyOperator {
+    pub fn next_batch(&mut self) {
+        let t0 = Instant::now();
+        let _wall = std::time::SystemTime::now();
+        self.started_ns = t0.elapsed().as_nanos() as u64;
+    }
+
+    pub fn epoch_anchor() -> Instant {
+        // ic-lint: allow(L007) because the fixture demonstrates pragma suppression
+        Instant::now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt: assertions may time things however they like.
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _t = std::time::Instant::now();
+    }
+}

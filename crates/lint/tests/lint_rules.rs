@@ -77,15 +77,32 @@ fn fixture_l006_buffer_counter_fails() {
 }
 
 #[test]
+fn fixture_l007_wallclock_fails() {
+    let r = lint_as("crates/common/src/obs/fixture.rs", "l007_wallclock.rs");
+    let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L007").collect();
+    // `Instant::now()` + `SystemTime::now()` fire; the pragma-covered
+    // epoch anchor is suppressed and the #[cfg(test)] read is exempt.
+    assert_eq!(hits.len(), 2, "{:?}", r.violations);
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    assert!(r.suppressed[0].justification.contains("fixture"));
+
+    // The exec operators file is the other traced surface in scope.
+    let r = lint_as("crates/exec/src/operators.rs", "l007_wallclock.rs");
+    assert_eq!(r.violations.iter().filter(|v| v.rule == "L007").count(), 2);
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_pass() {
     // The same sources are fine where the rules don't apply.
     for (path, fixture_name) in [
         ("crates/sql/src/fixture.rs", "l001_unwrap.rs"),
         ("crates/net/src/fixture.rs", "l003_hashmap.rs"),
-        ("crates/exec/src/operators.rs", "l004_wallclock.rs"),
+        ("crates/plan/src/fixture.rs", "l004_wallclock.rs"),
         ("crates/net/tests/fixture.rs", "l005_inversion.rs"),
         ("crates/core/src/fixture.rs", "l006_buffer.rs"),
         ("crates/exec/tests/fixture.rs", "l006_buffer.rs"),
+        ("crates/common/src/lease.rs", "l007_wallclock.rs"),
+        ("crates/common/tests/fixture.rs", "l007_wallclock.rs"),
     ] {
         let r = lint_as(path, fixture_name);
         assert!(

@@ -11,8 +11,21 @@ use crate::topology::SiteId;
 use crate::wire::WireSize;
 use crate::{AbortFn, Network};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use ic_common::obs::{SpanId, Trace};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Tracing context for a network endpoint: where to record per-transfer
+/// spans (bytes + charged latency) and fault events.
+#[derive(Debug, Clone)]
+pub struct NetObs {
+    /// The owning query's trace (and clock).
+    pub trace: Arc<Trace>,
+    /// Lane of the sending fragment-instance thread.
+    pub lane: u32,
+    /// Span the transfers nest under (the fragment-instance span).
+    pub parent: Option<SpanId>,
+}
 
 /// Sending half of a simulated network link.
 pub struct NetSender<T> {
@@ -21,6 +34,7 @@ pub struct NetSender<T> {
     src: SiteId,
     dst: SiteId,
     abort: Option<Arc<AbortFn>>,
+    obs: Option<NetObs>,
 }
 
 /// Receiving half of a simulated network link.
@@ -55,7 +69,7 @@ pub fn net_channel<T: WireSize>(
 ) -> (NetSender<T>, NetReceiver<T>) {
     let (tx, rx) = bounded(window);
     (
-        NetSender { tx, net, src, dst, abort: None },
+        NetSender { tx, net, src, dst, abort: None, obs: None },
         NetReceiver { rx, src, dst },
     )
 }
@@ -63,10 +77,34 @@ pub fn net_channel<T: WireSize>(
 impl<T: WireSize> NetSender<T> {
     /// Ship one payload: charges network delay (abortable mid-flight when
     /// an abort hook is attached), then delivers (blocking if the
-    /// receiver's window is full).
+    /// receiver's window is full). Traced senders record one span per
+    /// transfer — the span duration is the charged latency, `bytes` the
+    /// wire size — and an instant event for every injected fault.
     pub fn send(&self, payload: T) -> Result<(), NetError> {
         let bytes = payload.wire_size();
-        self.net.transfer_cancellable(self.src, self.dst, bytes, self.abort.as_deref())?;
+        let t0 = self.obs.as_ref().map(|o| o.trace.now_ns());
+        let charged =
+            self.net.transfer_cancellable(self.src, self.dst, bytes, self.abort.as_deref());
+        if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            match &charged {
+                Ok(()) => o.trace.record_span(
+                    format!("xfer {}->{}", self.src, self.dst),
+                    "net",
+                    o.parent,
+                    o.lane,
+                    t0,
+                    o.trace.now_ns(),
+                    vec![("bytes", bytes as u64), ("src", self.src.0 as u64), ("dst", self.dst.0 as u64)],
+                ),
+                Err(e) => o.trace.event(
+                    "net.fault",
+                    "net",
+                    o.lane,
+                    format!("{}->{}: {e:?}", self.src, self.dst),
+                ),
+            }
+        }
+        charged?;
         self.tx.send(payload).map_err(|_| NetError::Disconnected)
     }
 }
@@ -81,6 +119,7 @@ impl<T> NetSender<T> {
             src,
             dst: self.dst,
             abort: self.abort.clone(),
+            obs: self.obs.clone(),
         }
     }
 
@@ -89,6 +128,11 @@ impl<T> NetSender<T> {
     pub fn with_abort(mut self, abort: Arc<AbortFn>) -> NetSender<T> {
         self.abort = Some(abort);
         self
+    }
+
+    /// Attach per-transfer tracing to this endpoint.
+    pub fn set_obs(&mut self, obs: NetObs) {
+        self.obs = Some(obs);
     }
 }
 
@@ -100,6 +144,7 @@ impl<T> Clone for NetSender<T> {
             src: self.src,
             dst: self.dst,
             abort: self.abort.clone(),
+            obs: self.obs.clone(),
         }
     }
 }

@@ -20,7 +20,7 @@ pub mod fault;
 pub mod topology;
 pub mod wire;
 
-pub use channel::{net_channel, NetError, NetReceiver, NetSender};
+pub use channel::{net_channel, NetError, NetObs, NetReceiver, NetSender};
 pub use fault::{
     FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, Liveness,
     SiteState, SplitMix64, TICK_FOREVER,
@@ -97,15 +97,24 @@ pub struct Network {
     pub stats: NetStats,
     faults: Mutex<Option<Arc<FaultInjector>>>,
     liveness: Liveness,
+    /// Process-wide metric handles (`net.transfer.*`), resolved once at
+    /// construction so the transfer path never touches the registry lock.
+    m_messages: Arc<ic_common::obs::Counter>,
+    m_bytes: Arc<ic_common::obs::Counter>,
+    m_faults: Arc<ic_common::obs::Counter>,
 }
 
 impl Network {
     pub fn new(config: NetworkConfig) -> Arc<Network> {
+        let reg = ic_common::obs::MetricsRegistry::global();
         Arc::new(Network {
             config,
             stats: NetStats::default(),
             faults: Mutex::named(None, "network.faults"),
             liveness: Liveness::default(),
+            m_messages: reg.counter("net.transfer.messages"),
+            m_bytes: reg.counter("net.transfer.bytes"),
+            m_faults: reg.counter("net.transfer.faults"),
         })
     }
 
@@ -169,12 +178,20 @@ impl Network {
         if let Some(injector) = self.fault_injector() {
             match injector.decide(src, dst, &self.liveness) {
                 FaultDecision::Deliver { delay_factor: f } => delay_factor = f,
-                FaultDecision::Drop => return Err(NetError::LinkFault),
-                FaultDecision::SiteDown(site) => return Err(NetError::SiteDead(site)),
+                FaultDecision::Drop => {
+                    self.m_faults.inc();
+                    return Err(NetError::LinkFault);
+                }
+                FaultDecision::SiteDown(site) => {
+                    self.m_faults.inc();
+                    return Err(NetError::SiteDead(site));
+                }
             }
         }
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.m_messages.inc();
+        self.m_bytes.add(bytes as u64);
         let delay = self.config.transfer_delay(bytes) * delay_factor;
         if delay.is_zero() {
             return Ok(());

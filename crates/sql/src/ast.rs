@@ -6,6 +6,9 @@ pub enum Statement {
     Query(Query),
     /// EXPLAIN SELECT … — show the optimized physical plan.
     Explain(Query),
+    /// EXPLAIN ANALYZE SELECT … — execute the query and show the plan
+    /// annotated with observed per-operator actuals.
+    ExplainAnalyze(Query),
     CreateTable(CreateTable),
     CreateIndex(CreateIndex),
 }

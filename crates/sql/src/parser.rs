@@ -94,6 +94,9 @@ impl Parser {
 
     fn parse_statement(&mut self) -> IcResult<Statement> {
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                return Ok(Statement::ExplainAnalyze(self.parse_query()?));
+            }
             return Ok(Statement::Explain(self.parse_query()?));
         }
         if self.peek().ident() == Some("create") {

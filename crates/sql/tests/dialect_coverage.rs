@@ -125,3 +125,14 @@ fn explain_statement_parses() {
     };
     assert_eq!(q.select.len(), 1);
 }
+
+#[test]
+fn explain_analyze_statement_parses() {
+    let Statement::ExplainAnalyze(q) =
+        parse_sql("EXPLAIN ANALYZE SELECT 1 FROM part").unwrap() else {
+        panic!("expected EXPLAIN ANALYZE");
+    };
+    assert_eq!(q.select.len(), 1);
+    // ANALYZE is only a keyword after EXPLAIN; elsewhere it stays an ident.
+    assert!(parse_sql("SELECT analyze FROM part").is_ok());
+}

@@ -163,6 +163,38 @@ fn seeded_mid_run_crash_recovers_and_replays() {
     }
 }
 
+/// A traced query that crashes mid-run and fails over records *both*
+/// attempts: the trace carries one span per attempt, an `attempt.failed`
+/// instant event for the lost one, and still validates as a well-formed
+/// span tree.
+#[test]
+fn failed_over_query_trace_records_both_attempts() {
+    let cluster = chaos_cluster(1);
+    // Crash from tick 1 so attempt 0 plans against a live site 3 and dies
+    // mid-run; attempt 1 replans around the dead site and succeeds.
+    cluster.install_faults(FaultPlan::new(77).crash(SiteId(3), 1));
+    let (result, trace) = cluster.query_traced(0, "SELECT count(*) FROM lineitem");
+    let result = result.expect("failover should recover the query");
+    assert!(result.retries >= 1, "query must have failed over at least once");
+
+    trace.validate().expect("well-formed span tree despite the mid-run crash");
+    let spans = trace.spans();
+    let attempt_spans = spans.iter().filter(|s| s.cat == "attempt").count();
+    assert!(
+        attempt_spans >= 2,
+        "both the failed and the recovered attempt must be traced, got {attempt_spans}"
+    );
+    assert!(
+        trace.events().iter().any(|e| e.name == "attempt.failed"),
+        "the lost attempt must leave an attempt.failed event"
+    );
+    // One per-operator stats table per attempt, and the last (successful)
+    // attempt's root operator emitted the single count(*) row.
+    let attempts = trace.attempts();
+    assert!(attempts.len() >= 2, "one stats table per attempt, got {}", attempts.len());
+    assert_eq!(attempts.last().unwrap().rows(0), result.rows.len() as u64);
+}
+
 /// Without backups, a dead site's partitions are lost: the failover loop
 /// retries, then surfaces the whole failure chain.
 #[test]
