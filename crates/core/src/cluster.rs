@@ -413,8 +413,7 @@ impl Cluster {
                         return Err(IcError::RetriesExhausted { attempts: attempt + 1, chain });
                     }
                     attempt += 1;
-                    let backoff =
-                        self.config.retry_backoff * 2u32.saturating_pow((attempt - 1).min(8));
+                    let backoff = self.retry_backoff(client, attempt);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -432,6 +431,30 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// Backoff before failover attempt `attempt` (1-based): exponential
+    /// doubling capped at 2^8, scaled by a jitter factor in [0.5, 1.5).
+    /// Pure doubling synchronizes retry storms — every client that lost
+    /// the same site wakes at the same instant and hammers the failover
+    /// target together. The jitter is drawn from the installed fault
+    /// plan's seed (fixed constant when no plan is installed) mixed with
+    /// the client id and attempt number, so chaos/fuzz runs replay the
+    /// exact same sleep schedule from the same seed.
+    fn retry_backoff(&self, client: u64, attempt: u32) -> Duration {
+        let base = self.config.retry_backoff * 2u32.saturating_pow((attempt - 1).min(8));
+        if base.is_zero() {
+            return base;
+        }
+        const NO_PLAN_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+        let seed = self
+            .network
+            .fault_injector()
+            .map(|inj| inj.plan().seed)
+            .unwrap_or(NO_PLAN_SEED);
+        let mut rng =
+            ic_net::SplitMix64::new(seed ^ client.rotate_left(17) ^ (u64::from(attempt) << 32));
+        base.mul_f64(0.5 + rng.next_f64())
     }
 
     /// One planning + execution attempt (no failover). `tctx` carries the

@@ -11,7 +11,7 @@ use ic_common::obs::{AttemptStats, SpanId, Trace};
 use ic_common::{Batch, IcError, IcResult, Row};
 use ic_net::{
     net_channel, AbortFn, Assignment, FailoverError, NetError, NetObs, NetReceiver, NetSender,
-    Network, SiteId, WireSize,
+    Network, SiteId, SiteState, WireSize,
 };
 use ic_plan::ops::{PhysOp, PhysPlan};
 use ic_plan::Distribution;
@@ -310,6 +310,12 @@ struct ReceiverSource {
     rx: NetReceiver<Msg>,
     remaining_eofs: usize,
     ctrl: Arc<ControlBlock>,
+    /// Sites hosting this exchange's producer instances, polled between
+    /// receive timeouts: a producer that dies mid-run will never deliver
+    /// its EOF, and without the check the receiver would wait out the
+    /// whole query deadline instead of failing over.
+    producers: Vec<SiteId>,
+    network: Arc<Network>,
     /// When traced: (attempt table, Exchange node index) to credit shipped
     /// bytes to — the consumer side observes exactly what crossed the wire.
     obs: Option<(Arc<AttemptStats>, u32)>,
@@ -332,7 +338,29 @@ impl RowSource for ReceiverSource {
                 Ok(Msg::Eof) => {
                     self.remaining_eofs -= 1;
                 }
-                Err(NetError::Timeout) => continue,
+                Err(NetError::Timeout) => {
+                    // Crashed (or suspect) producers cannot deliver their
+                    // remaining batches/EOFs — messages from them are
+                    // dropped — so surface the loss retryably now. A
+                    // producer that already finished trips this too, but
+                    // that only costs one replan against the surviving
+                    // topology.
+                    self.network.refresh_liveness();
+                    let liveness = self.network.liveness();
+                    if let Some(dead) = self
+                        .producers
+                        .iter()
+                        .find(|s| liveness.state(**s) != SiteState::Alive)
+                    {
+                        return Err(IcError::SiteUnavailable {
+                            site: dead.0,
+                            detail: format!(
+                                "{dead} stopped responding mid-exchange (producer lost)"
+                            ),
+                        });
+                    }
+                    continue;
+                }
                 Err(_) => {
                     return Err(IcError::Exec(
                         "exchange peer disconnected before EOF (upstream failure)".into(),
@@ -650,6 +678,8 @@ pub fn execute_plan(
                             rx,
                             remaining_eofs: eof_count[&ex],
                             ctrl: ctrl.clone(),
+                            producers: fragments[producer_of[&ex]].sites.clone(),
+                            network: network.clone(),
                             obs: obs_ctx.as_ref().and_then(|(o, ix)| {
                                 ix.of_exchange(ex).map(|n| (o.attempt.clone(), n))
                             }),
@@ -725,9 +755,16 @@ pub fn execute_plan(
                     match run() {
                         Ok(()) => sender.finish(),
                         Err(e) => {
-                            let mut slot = error_slot.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
+                            // A worker that merely observed cancellation is
+                            // teardown noise: the real cause lives elsewhere
+                            // (the root's own error, another worker's slot
+                            // entry — always recorded before its cancel() —
+                            // or a root that already finished its answer).
+                            if !matches!(&e, IcError::Exec(m) if m == "query cancelled") {
+                                let mut slot = error_slot.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
                             }
                             ctrl2.cancel();
                         }
@@ -760,6 +797,8 @@ pub fn execute_plan(
                     rx,
                     remaining_eofs: eof_count[&ex],
                     ctrl: ctrl.clone(),
+                    producers: fragments[producer_of[&ex]].sites.clone(),
+                    network: network.clone(),
                     obs: obs_ctx.as_ref().and_then(|(o, ix)| {
                         ix.of_exchange(ex).map(|n| (o.attempt.clone(), n))
                     }),
@@ -785,9 +824,11 @@ pub fn execute_plan(
     })();
     drop(root_span);
 
-    if root_result.is_err() {
-        ctrl.cancel();
-    }
+    // Stop the workers either way: on error the query is unwinding; on
+    // success the root may have finished without draining its producers
+    // (a bare LIMIT satisfied early), whose receivers are gone — cancel
+    // instead of letting them grind until a send hits the dead channel.
+    ctrl.cancel();
     for (fi, site, vid, h) in handles {
         if let Err(payload) = h.join() {
             // Downcast the panic payload so chaos failures are attributable
@@ -808,8 +849,23 @@ pub fn execute_plan(
         }
     }
     // A worker error is the root cause; prefer it over secondary failures.
-    if let Some(e) = error_slot.lock().take() {
-        root_result = Err(e);
+    // Unless the root already completed its answer: a producer that was
+    // still shipping when the root stopped pulling (LIMIT satisfied) dies
+    // on a disconnected channel or the cancellation above, and that
+    // teardown noise must not fail a finished query.
+    if root_result.is_ok() {
+        error_slot.lock().take();
+    } else if let Some(e) = error_slot.lock().take() {
+        // ...and never let a non-retryable teardown symptom (a send that
+        // died on a channel the unwinding root dropped) mask a retryable
+        // root error — that would turn a clean failover into a hard fail.
+        let root_retryable = root_result
+            .as_ref()
+            .err()
+            .is_some_and(|r| r.is_failover_retryable());
+        if !root_retryable || e.is_failover_retryable() {
+            root_result = Err(e);
+        }
     }
     // Secondary channel failures caused by cancellation are reported as
     // the root cause they really are: the memory limit that fired, the

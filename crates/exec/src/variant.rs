@@ -4,11 +4,14 @@
 //! running in its own thread at the same site. Every *source* (table scan,
 //! index scan, receiver) in the copy becomes either a **splitter** — which
 //! passes only every `n`-th tuple, creating runtime sub-partitions — or a
-//! **duplicator** — which passes everything. The left input of a join is a
-//! duplicator (so each variant joins a full left side against a right
-//! slice); everything else defaults to splitter. Fragments containing a
-//! reduction operator (complete/final aggregates, sorts, limits) or a
-//! semi/anti join are skipped, as are root fragments.
+//! **duplicator** — which passes everything. The left input of an inner
+//! join is a duplicator (so each variant joins a full left side against a
+//! right slice); a LEFT outer join flips that — left sliced, right
+//! duplicated — because padding against a partial right side would emit
+//! unmatched left rows once per variant. Everything else defaults to
+//! splitter. Fragments containing a reduction operator (complete/final
+//! aggregates, sorts, limits) or a semi/anti join are skipped, as are
+//! root fragments.
 
 use crate::fragment::{ExchangeId, ExchangeRegistry, Fragment};
 use ic_common::hash::FxHashMap;
@@ -124,13 +127,26 @@ fn assign_modes(
                 None => false,
             }
         }
-        PhysOp::NestedLoopJoin { left, right, .. }
-        | PhysOp::HashJoin { left, right, .. }
-        | PhysOp::MergeJoin { left, right, .. } => {
-            // Left becomes a duplicator, right keeps the inherited type.
-            assign_modes(left, SourceMode::Duplicator, registry, plan)
-                && assign_modes(right, mode, registry, plan)
-        }
+        PhysOp::NestedLoopJoin { left, right, kind, .. }
+        | PhysOp::HashJoin { left, right, kind, .. }
+        | PhysOp::MergeJoin { left, right, kind, .. } => match kind {
+            // Inner: full left side against a right slice (Algorithm 3).
+            JoinKind::Inner => {
+                assign_modes(left, SourceMode::Duplicator, registry, plan)
+                    && assign_modes(right, mode, registry, plan)
+            }
+            // LEFT outer must flip: against a right *slice* every variant
+            // would NULL-pad left rows whose match lives in another
+            // variant's slice, duplicating them once per variant. Slice
+            // the left instead (each left row settles in exactly one
+            // variant) and give every variant the full right side.
+            JoinKind::Left => {
+                assign_modes(left, mode, registry, plan)
+                    && assign_modes(right, SourceMode::Duplicator, registry, plan)
+            }
+            // Unreachable: is_reduction rejects semi/anti before descent.
+            JoinKind::Semi | JoinKind::Anti => false,
+        },
         _ => node
             .children()
             .iter()
@@ -220,6 +236,32 @@ mod tests {
         let plan = plan_variants(&f, &reg, 2);
         assert_eq!(plan.scan_mode(&l), SourceMode::Duplicator);
         assert_eq!(plan.scan_mode(&r), SourceMode::Splitter);
+    }
+
+    #[test]
+    fn left_join_slices_left_and_duplicates_right() {
+        // Found by differential fuzzing: with the inner-join assignment
+        // (full left × right slice) each variant NULL-pads left rows
+        // whose match lives in another variant's slice, so every LEFT
+        // JOIN result row came out once per variant.
+        let l = scan();
+        let r = scan();
+        let join = node(
+            PhysOp::HashJoin {
+                left: l.clone(),
+                right: r.clone(),
+                kind: JoinKind::Left,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                residual: Expr::lit(true),
+            },
+            Distribution::Hash(vec![0]),
+        );
+        let f = mk_fragment(join, false);
+        let reg = ExchangeRegistry::default();
+        let plan = plan_variants(&f, &reg, 2);
+        assert_eq!(plan.scan_mode(&l), SourceMode::Splitter);
+        assert_eq!(plan.scan_mode(&r), SourceMode::Duplicator);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Differential SQL fuzzing + deterministic whole-cluster simulation.
+//!
+//! One `u64` seed deterministically controls everything about a scenario:
+//! the bench schema and data, the generated query ([`gen`]), the fault
+//! schedule and lease-pressure timing ([`sim`]), and the failover jitter
+//! inside the cluster. Three differential oracles ([`oracle`]) must agree:
+//!
+//! 1. **optimized vs. unoptimized plans** — the `IC` variant (heuristics
+//!    off) against `ICPlus`/`ICPlusM`;
+//! 2. **kernel vs. naive operators** — the engine against an independent
+//!    row-at-a-time reference evaluator ([`reference`]);
+//! 3. **1-site vs. N-site clusters** — distributed execution under fault
+//!    and revocation interleavings must agree with the single-site answer
+//!    or fail with a retryable/terminal [`ic_common::IcError`], never
+//!    return wrong results or panic.
+//!
+//! On disagreement, [`minimize`] shrinks the query AST and fault schedule
+//! to a minimal reproducer, emitted as a self-contained fixture
+//! ([`fixture`]) that replays byte-identically from its recorded inputs.
+
+pub mod fixture;
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+pub mod reference;
+pub mod sim;
+
+pub use fixture::Fixture;
+pub use gen::{generate_query, SchemaInfo};
+pub use minimize::minimize;
+pub use sim::{run_scenario, BenchSchema, Env, Outcome, Scenario};

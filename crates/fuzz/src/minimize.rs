@@ -1,0 +1,188 @@
+//! Greedy fixed-point shrinking of a failing scenario.
+//!
+//! Given a scenario and a predicate that re-runs the oracle battery and
+//! reports whether the failure persists, [`minimize`] repeatedly tries
+//! single-step simplifications — dropping fault events, lease pressure,
+//! ORDER BY/LIMIT/HAVING/DISTINCT, WHERE conjuncts, select items, group
+//! keys, whole join arms — keeping each step only if the scenario still
+//! fails, until no step applies. Candidates whose SQL no longer parses
+//! and binds are discarded up front, so the minimizer cannot "converge"
+//! onto a syntax error that fails for an unrelated reason.
+//!
+//! The result is the minimal reproducer written into a fixture (see
+//! [`fixture`](crate::fixture)).
+
+use crate::sim::{Env, Scenario};
+use ic_core::SystemVariant;
+use ic_sql::ast::{AstExpr, BinOp, Query, Statement, TableRef};
+use ic_sql::{bind_statement, parse_sql};
+
+/// Shrink `scenario` while `fails` keeps returning `true` for the
+/// candidate. Returns the smallest scenario found and the number of
+/// accepted shrink steps.
+pub fn minimize(
+    env: &mut Env,
+    scenario: &Scenario,
+    fails: &mut dyn FnMut(&mut Env, &Scenario) -> bool,
+) -> (Scenario, usize) {
+    let mut best = scenario.clone();
+    let mut steps = 0;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if !binds(env, &cand) {
+                continue;
+            }
+            if fails(env, &cand) {
+                best = cand;
+                steps += 1;
+                improved = true;
+                break; // restart the pass from the (new) smaller scenario
+            }
+        }
+        if !improved {
+            return (best, steps);
+        }
+    }
+}
+
+/// A candidate must still be a well-formed query against its schema.
+fn binds(env: &mut Env, s: &Scenario) -> bool {
+    let cluster = env.cluster(s.schema, 1, SystemVariant::ICPlus);
+    match parse_sql(&s.sql()) {
+        Ok(Statement::Query(q)) => bind_statement(&q, cluster.catalog()).is_ok(),
+        _ => false,
+    }
+}
+
+/// All single-step simplifications of `s`, biggest steps first so the
+/// greedy loop takes large bites before nibbling.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // --- Schedule shrinks: whole plan, then event-at-a-time.
+    if let Some(plan) = &s.faults {
+        let mut c = s.clone();
+        c.faults = None;
+        out.push(c);
+        for i in 0..plan.events.len() {
+            if plan.events.len() == 1 {
+                break; // dropping the only event == dropping the plan
+            }
+            let mut p = plan.clone();
+            p.events.remove(i);
+            let mut c = s.clone();
+            c.faults = Some(p);
+            out.push(c);
+        }
+    }
+    if s.lease_pressure {
+        let mut c = s.clone();
+        c.lease_pressure = false;
+        out.push(c);
+    }
+    if s.run_icplusm {
+        let mut c = s.clone();
+        c.run_icplusm = false;
+        out.push(c);
+    }
+    // Fewer sites only when no schedule references site ids.
+    if s.faults.is_none() && s.sites > 2 {
+        let mut c = s.clone();
+        c.sites -= 1;
+        out.push(c);
+    }
+
+    // --- Query shrinks.
+    for q in query_shrinks(&s.query) {
+        let mut c = s.clone();
+        c.query = q;
+        out.push(c);
+    }
+    out
+}
+
+fn query_shrinks(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Query>, f: &dyn Fn(&mut Query)| {
+        let mut c = q.clone();
+        f(&mut c);
+        out.push(c);
+    };
+
+    // Collapse a join to one of its arms (top-level; repeated passes
+    // flatten nested joins one level at a time).
+    for (i, tr) in q.from.iter().enumerate() {
+        if let TableRef::Join { left, right, .. } = tr {
+            for arm in [left, right] {
+                let mut c = q.clone();
+                c.from[i] = (**arm).clone();
+                out.push(c);
+            }
+        }
+    }
+    // Drop a whole comma-join element.
+    if q.from.len() > 1 {
+        for i in 0..q.from.len() {
+            let mut c = q.clone();
+            c.from.remove(i);
+            out.push(c);
+        }
+    }
+    // Replace a derived table by its inner FROM (when trivially liftable).
+    for (i, tr) in q.from.iter().enumerate() {
+        if let TableRef::Derived { query, .. } = tr {
+            if query.from.len() == 1 {
+                if let TableRef::Table { name, .. } = &query.from[0] {
+                    let mut c = q.clone();
+                    let alias = match &c.from[i] {
+                        TableRef::Derived { alias, .. } => alias.clone(),
+                        _ => unreachable!(),
+                    };
+                    c.from[i] =
+                        TableRef::Table { name: name.clone(), alias: Some(alias) };
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    if q.where_clause.is_some() {
+        push(&mut out, &|c| c.where_clause = None);
+        // Keep one side of a top-level AND.
+        if let Some(AstExpr::Binary { op: BinOp::And, left, right }) = &q.where_clause {
+            for side in [left, right] {
+                let mut c = q.clone();
+                c.where_clause = Some((**side).clone());
+                out.push(c);
+            }
+        }
+    }
+    if q.having.is_some() {
+        push(&mut out, &|c| c.having = None);
+    }
+    if q.limit.is_some() {
+        push(&mut out, &|c| c.limit = None);
+    }
+    if !q.order_by.is_empty() {
+        push(&mut out, &|c| c.order_by.clear());
+    }
+    if q.distinct {
+        push(&mut out, &|c| c.distinct = false);
+    }
+    if q.select.len() > 1 {
+        for i in 0..q.select.len() {
+            let mut c = q.clone();
+            c.select.remove(i);
+            out.push(c);
+        }
+    }
+    if q.group_by.len() > 1 {
+        for i in 0..q.group_by.len() {
+            let mut c = q.clone();
+            c.group_by.remove(i);
+            out.push(c);
+        }
+    }
+    out
+}

@@ -16,11 +16,14 @@ fn lint_as(virtual_path: &str, fixture_name: &str) -> ic_lint::Report {
 
 #[test]
 fn fixture_l001_unwrap_fails() {
-    let r = lint_as("crates/net/src/fixture.rs", "l001_unwrap.rs");
-    let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L001").collect();
-    assert_eq!(hits.len(), 2, "{:?}", r.violations);
-    // The #[cfg(test)] unwrap must not be counted.
-    assert!(hits.iter().all(|v| v.line < 8));
+    // crates/sql joined the scope so the fuzzer front end stays panic-free.
+    for path in ["crates/net/src/fixture.rs", "crates/sql/src/fixture.rs"] {
+        let r = lint_as(path, "l001_unwrap.rs");
+        let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L001").collect();
+        assert_eq!(hits.len(), 2, "{path}: {:?}", r.violations);
+        // The #[cfg(test)] unwrap must not be counted.
+        assert!(hits.iter().all(|v| v.line < 8));
+    }
 }
 
 #[test]
@@ -95,7 +98,7 @@ fn fixture_l007_wallclock_fails() {
 fn fixtures_out_of_scope_paths_pass() {
     // The same sources are fine where the rules don't apply.
     for (path, fixture_name) in [
-        ("crates/sql/src/fixture.rs", "l001_unwrap.rs"),
+        ("crates/plan/src/fixture.rs", "l001_unwrap.rs"),
         ("crates/net/src/fixture.rs", "l003_hashmap.rs"),
         ("crates/plan/src/fixture.rs", "l004_wallclock.rs"),
         ("crates/net/tests/fixture.rs", "l005_inversion.rs"),

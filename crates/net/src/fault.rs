@@ -151,6 +151,111 @@ impl FaultPlan {
         plan
     }
 
+    /// Serialize the plan to a single-line spec, e.g.
+    /// `seed=7; crash(2)@5; transient(1)@[0,3); drop(0->1,0.25)@[0,100);
+    /// latency(x3)@[10,20); partition(0|2)@[5,inf)`. The format is the
+    /// on-disk representation of fuzz regression fixtures, so
+    /// [`FaultPlan::parse_spec`] round-trips it exactly (floats use
+    /// shortest-round-trip formatting).
+    pub fn to_spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        let tick = |t: u64| {
+            if t == TICK_FOREVER {
+                "inf".to_string()
+            } else {
+                t.to_string()
+            }
+        };
+        for ev in &self.events {
+            let window = format!("[{},{})", tick(ev.start), tick(ev.end));
+            let part = match &ev.kind {
+                FaultKind::SiteCrash { site, transient: false } if ev.end == TICK_FOREVER => {
+                    format!("crash({})@{}", site.0, ev.start)
+                }
+                FaultKind::SiteCrash { site, transient } => {
+                    let tag = if *transient { "transient" } else { "crash" };
+                    format!("{tag}({})@{window}", site.0)
+                }
+                FaultKind::LinkDrop { src, dst, prob } => {
+                    format!("drop({}->{},{prob})@{window}", src.0, dst.0)
+                }
+                FaultKind::LatencySpike { factor } => format!("latency(x{factor})@{window}"),
+                FaultKind::Partition { group } => {
+                    let names: Vec<String> = group.iter().map(|s| s.0.to_string()).collect();
+                    format!("partition({})@{window}", names.join("|"))
+                }
+            };
+            parts.push(part);
+        }
+        parts.join("; ")
+    }
+
+    /// Parse a spec produced by [`FaultPlan::to_spec`].
+    pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan: Option<FaultPlan> = None;
+        for raw in spec.split(';') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(seed) = part.strip_prefix("seed=") {
+                let seed = seed.trim().parse::<u64>().map_err(|e| format!("bad seed: {e}"))?;
+                plan = Some(FaultPlan::new(seed));
+                continue;
+            }
+            let plan_ref = plan.as_mut().ok_or("spec must start with seed=N")?;
+            let (head, window) = part
+                .split_once('@')
+                .ok_or_else(|| format!("event '{part}' missing @window"))?;
+            let (name, args) = head
+                .split_once('(')
+                .and_then(|(n, rest)| rest.strip_suffix(')').map(|a| (n.trim(), a.trim())))
+                .ok_or_else(|| format!("malformed event '{part}'"))?;
+            let (start, end) = parse_window(window.trim())?;
+            let kind = match name {
+                "crash" | "transient" => FaultKind::SiteCrash {
+                    site: SiteId(parse_usize(args)?),
+                    transient: name == "transient",
+                },
+                "drop" => {
+                    let (link, prob) =
+                        args.split_once(',').ok_or_else(|| format!("bad drop args '{args}'"))?;
+                    let (src, dst) = link
+                        .split_once("->")
+                        .ok_or_else(|| format!("bad drop link '{link}'"))?;
+                    FaultKind::LinkDrop {
+                        src: SiteId(parse_usize(src)?),
+                        dst: SiteId(parse_usize(dst)?),
+                        prob: prob
+                            .trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad drop prob '{prob}': {e}"))?,
+                    }
+                }
+                "latency" => {
+                    let factor = args
+                        .strip_prefix('x')
+                        .ok_or_else(|| format!("bad latency factor '{args}'"))?;
+                    FaultKind::LatencySpike {
+                        factor: factor
+                            .trim()
+                            .parse::<u32>()
+                            .map_err(|e| format!("bad latency factor '{args}': {e}"))?,
+                    }
+                }
+                "partition" => FaultKind::Partition {
+                    group: args
+                        .split('|')
+                        .map(|s| parse_usize(s).map(SiteId))
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            plan_ref.events.push(FaultEvent { kind, start, end });
+        }
+        plan.ok_or_else(|| "empty fault spec".to_string())
+    }
+
     /// Human-readable schedule, sorted by start tick — identical for
     /// identical seeds, which is what makes chaos reports comparable
     /// across runs.
@@ -165,6 +270,28 @@ impl FaultPlan {
             .collect();
         lines.sort();
         lines.into_iter().map(|(_, l)| l).collect::<Vec<_>>().join("\n")
+    }
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.trim().parse::<usize>().map_err(|e| format!("bad site id '{s}': {e}"))
+}
+
+/// Parse `[start,end)` / `inf` windows or a bare `@start` crash tick.
+fn parse_window(w: &str) -> Result<(u64, u64), String> {
+    let parse_tick = |t: &str| -> Result<u64, String> {
+        let t = t.trim();
+        if t == "inf" {
+            Ok(TICK_FOREVER)
+        } else {
+            t.parse::<u64>().map_err(|e| format!("bad tick '{t}': {e}"))
+        }
+    };
+    if let Some(inner) = w.strip_prefix('[').and_then(|r| r.strip_suffix(')')) {
+        let (s, e) = inner.split_once(',').ok_or_else(|| format!("bad window '{w}'"))?;
+        Ok((parse_tick(s)?, parse_tick(e)?))
+    } else {
+        Ok((parse_tick(w)?, TICK_FOREVER))
     }
 }
 
@@ -455,6 +582,25 @@ mod tests {
         assert_eq!(a.timeline(), b.timeline());
         let c = FaultPlan::random(43, 4, 1000);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::new(77)
+            .crash(SiteId(2), 5)
+            .transient_crash(SiteId(1), 0, 3)
+            .drop_link(SiteId(0), SiteId(1), 0.25, 0, 100)
+            .latency_spike(3, 10, 20)
+            .partition(vec![SiteId(0), SiteId(2)], 5, TICK_FOREVER);
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::parse_spec(&spec).unwrap(), plan);
+        // Random plans (seeded probabilities) round-trip too.
+        for seed in 0..50 {
+            let p = FaultPlan::random(seed, 4, 1000);
+            assert_eq!(FaultPlan::parse_spec(&p.to_spec()).unwrap(), p, "seed={seed}");
+        }
+        assert!(FaultPlan::parse_spec("crash(1)@0").is_err());
+        assert!(FaultPlan::parse_spec("seed=1; bogus(1)@0").is_err());
     }
 
     #[test]

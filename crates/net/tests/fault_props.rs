@@ -31,8 +31,8 @@ proptest! {
     fn random_plans_replay_identically(seed in any::<u64>(), sites in 1usize..9, horizon in 1u64..10_000) {
         let a = FaultPlan::random(seed, sites, horizon);
         let b = FaultPlan::random(seed, sites, horizon);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a.timeline(), b.timeline());
+        prop_assert_eq!(&a, &b, "plans diverged for seed {} (sites={}, horizon={})", seed, sites, horizon);
+        prop_assert_eq!(a.timeline(), b.timeline(), "timelines diverged for seed {}", seed);
     }
 
     /// Replaying any seeded plan over the same message sequence yields the
@@ -50,8 +50,8 @@ proptest! {
         let plan = FaultPlan::random(seed, sites, horizon);
         let (d1, l1) = replay(plan.clone(), &probes);
         let (d2, l2) = replay(plan, &probes);
-        prop_assert_eq!(d1, d2);
-        prop_assert_eq!(l1, l2);
+        prop_assert_eq!(d1, d2, "decision sequences diverged for seed {}", seed);
+        prop_assert_eq!(l1, l2, "liveness diverged for seed {}", seed);
     }
 
     /// Per-link drop decisions depend only on the per-link message number,
@@ -81,7 +81,7 @@ proptest! {
         }
         // Delay factors are identical (no latency events), so the
         // sequences must match exactly.
-        prop_assert_eq!(bare, mixed);
+        prop_assert_eq!(bare, mixed, "per-link drop pattern diverged for seed {}", seed);
     }
 
     /// Whenever at most `backups` sites die, the failover assignment

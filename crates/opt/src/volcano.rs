@@ -20,7 +20,9 @@
 
 use ic_common::{Expr, IcError, IcResult, Schema};
 use ic_plan::cost::{compute_cost, CostContext};
-use ic_plan::dist::{join_mappings, join_output_dist, satisfies, DistReq, Distribution};
+use ic_plan::dist::{
+    join_mappings, join_output_dist, join_sources_valid, satisfies, DistReq, Distribution,
+};
 use ic_plan::ops::{
     derive_logical_schema, derive_phys_schema, extract_equi_keys, AggPhase, JoinKind,
     LogicalPlan, PhysOp, PhysPlan, RelOp, SortKey,
@@ -563,6 +565,12 @@ impl VolcanoPlanner {
             let rreq = ReqKey { dist: mapping.right.clone(), collation: vec![] };
             let Some(lp) = self.best(left, &lreq) else { continue };
             let Some(rp) = self.best(right, &rreq) else { continue };
+            // Placement satisfaction is not join validity: a broadcast
+            // left satisfies the hash mapping's requirement, but outer/
+            // semi/anti semantics break against a partitioned right.
+            if !join_sources_valid(kind, &lp.dist, &rp.dist) {
+                continue;
+            }
             let out_dist = join_output_dist(kind, &lp.dist, &rp.dist, l_ar);
 
             // Nested-loop join: handles any condition.
@@ -608,6 +616,9 @@ impl VolcanoPlanner {
             if let (Some(lps), Some(rps)) =
                 (self.best(left, &lreq_sorted), self.best(right, &rreq_sorted))
             {
+                if !join_sources_valid(kind, &lps.dist, &rps.dist) {
+                    continue;
+                }
                 let out_dist_s = join_output_dist(kind, &lps.dist, &rps.dist, l_ar);
                 let mj = self.node(
                     PhysOp::MergeJoin {

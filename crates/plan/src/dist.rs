@@ -169,6 +169,29 @@ pub fn join_mappings(
     out
 }
 
+/// Are these delivered source distributions *semantically* valid for the
+/// join kind? Table 1 alone is not enough: a Broadcast source satisfies a
+/// Hash requirement placement-wise (every site holds a superset of its
+/// partition), but then every site processes **all** left rows, and the
+/// per-site union is only the true join result when no row's fate depends
+/// on matches it cannot see. Inner joins are safe (each match pair exists
+/// at exactly one site). Left/semi/anti joins preserve left rows, so a
+/// replicated left against a partitioned right pads or filters each left
+/// row against a partial match set at every site — e.g. a LEFT JOIN
+/// returning each row once per site, found by differential fuzzing.
+pub fn join_sources_valid(
+    kind: JoinKind,
+    left: &Distribution,
+    right: &Distribution,
+) -> bool {
+    match kind {
+        JoinKind::Inner => true,
+        JoinKind::Left | JoinKind::Semi | JoinKind::Anti => {
+            !(*left == Distribution::Broadcast && right.is_partitioned())
+        }
+    }
+}
+
 /// The output distribution a join actually delivers given what its sources
 /// delivered. Correctness mirrors trait satisfaction: the output is
 /// partitioned wherever a partitioned source pins the computation, and is
@@ -280,6 +303,24 @@ mod tests {
         assert_eq!(join_output_dist(JoinKind::Semi, &Broadcast, &Hash(vec![1]), 2), Random);
         assert_eq!(join_output_dist(JoinKind::Inner, &Single, &Single, 2), Single);
         assert_eq!(join_output_dist(JoinKind::Inner, &Broadcast, &Broadcast, 2), Broadcast);
+    }
+
+    /// A replicated left against a partitioned right is only sound for
+    /// inner joins; preserved-side rows would pad/filter per site.
+    #[test]
+    fn outer_join_rejects_broadcast_left_partitioned_right() {
+        use crate::ops::JoinKind::*;
+        let h0 = Hash(vec![0]);
+        assert!(join_sources_valid(Inner, &Broadcast, &h0));
+        for kind in [Left, Semi, Anti] {
+            assert!(!join_sources_valid(kind, &Broadcast, &h0), "{kind:?}");
+            assert!(!join_sources_valid(kind, &Broadcast, &Random), "{kind:?}");
+            // Full right visibility (or one-copy left) stays valid.
+            assert!(join_sources_valid(kind, &Broadcast, &Broadcast), "{kind:?}");
+            assert!(join_sources_valid(kind, &h0, &Broadcast), "{kind:?}");
+            assert!(join_sources_valid(kind, &h0, &h0), "{kind:?}");
+            assert!(join_sources_valid(kind, &Single, &Single), "{kind:?}");
+        }
     }
 
     #[test]

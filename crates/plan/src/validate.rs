@@ -20,10 +20,10 @@
 //! debug/test builds, so a broken rewrite fails at plan time with a plan
 //! path instead of corrupting rows mid-query.
 
-use crate::dist::Distribution;
+use crate::dist::{join_sources_valid, Distribution};
 use crate::ops::{
-    derive_logical_schema, derive_phys_schema, AggCall, AggPhase, LogicalPlan, PhysOp, PhysPlan,
-    RelOp, SortKey,
+    derive_logical_schema, derive_phys_schema, AggCall, AggPhase, JoinKind, LogicalPlan, PhysOp,
+    PhysPlan, RelOp, SortKey,
 };
 use ic_common::{Expr, Schema};
 use std::sync::Arc;
@@ -178,11 +178,13 @@ fn walk(node: &PhysPlan, path: &str, errors: &mut Vec<ValidateError>) {
                 check_expr_bound(e, child_schemas[0].arity(), &format!("expr {i}"), &mut err);
             }
         }
-        PhysOp::NestedLoopJoin { on, .. } => {
+        PhysOp::NestedLoopJoin { on, kind, .. } => {
             check_expr_bound(on, concat_arity(&child_schemas), "join condition", &mut err);
+            check_join_sources(*kind, &children, &mut err);
         }
-        PhysOp::HashJoin { left_keys, right_keys, residual, .. }
-        | PhysOp::MergeJoin { left_keys, right_keys, residual, .. } => {
+        PhysOp::HashJoin { left_keys, right_keys, residual, kind, .. }
+        | PhysOp::MergeJoin { left_keys, right_keys, residual, kind, .. } => {
+            check_join_sources(*kind, &children, &mut err);
             if left_keys.len() != right_keys.len() {
                 err(format!(
                     "{} left keys vs {} right keys",
@@ -305,6 +307,22 @@ fn check_expr_bound(
         err(format!(
             "{what} references column {} but input arity is {arity}",
             bound - 1
+        ));
+    }
+}
+
+/// Outer/semi/anti joins must not pair a replicated left source with a
+/// partitioned right: every site would pad or filter its full copy of the
+/// left rows against a partial match set (see [`join_sources_valid`]).
+fn check_join_sources(
+    kind: JoinKind,
+    children: &[&Arc<PhysPlan>],
+    err: &mut impl FnMut(String),
+) {
+    if children.len() == 2 && !join_sources_valid(kind, &children[0].dist, &children[1].dist) {
+        err(format!(
+            "{kind:?} join pairs a replicated left ({}) with a partitioned right ({})",
+            children[0].dist, children[1].dist
         ));
     }
 }

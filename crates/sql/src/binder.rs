@@ -257,7 +257,11 @@ impl<'a> Binder<'a> {
                     .catalog
                     .table_by_name(name)
                     .ok_or_else(|| IcError::Bind(format!("unknown table '{name}'")))?;
-                let def = self.catalog.table_def(id).unwrap();
+                let def = self.catalog.table_def(id).ok_or_else(|| {
+                    IcError::Internal(format!(
+                        "catalog resolved '{name}' to {id:?} but has no definition for it"
+                    ))
+                })?;
                 let plan = LogicalPlan::new(RelOp::Scan {
                     table: id,
                     name: name.clone(),
@@ -550,10 +554,14 @@ impl<'a> Binder<'a> {
             corr_pairs
                 .iter()
                 .map(|&(outer, sub)| {
-                    let gpos = group.iter().position(|&g| g == sub).unwrap();
-                    Expr::eq(Expr::col(outer), Expr::col(plan_arity + gpos))
+                    let gpos = group.iter().position(|&g| g == sub).ok_or_else(|| {
+                        IcError::Internal(format!(
+                            "correlation key {sub} missing from subquery group {group:?}"
+                        ))
+                    })?;
+                    Ok(Expr::eq(Expr::col(outer), Expr::col(plan_arity + gpos)))
                 })
-                .collect(),
+                .collect::<IcResult<Vec<_>>>()?,
         );
         let value_col = plan_arity + group.len();
         let joined = LogicalPlan::new(RelOp::Join {

@@ -16,6 +16,8 @@ pub mod ast;
 pub mod binder;
 pub mod lexer;
 pub mod parser;
+pub mod unparse;
 
 pub use binder::{bind_statement, data_type_of, Bound};
 pub use parser::parse_sql;
+pub use unparse::unparse;

@@ -124,7 +124,7 @@ fn seeded_mid_run_crash_recovers_and_replays() {
         for q in &queries {
             let r = cluster
                 .query(&tpch::query(*q))
-                .unwrap_or_else(|e| panic!("Q{q} under seeded crash: {e}"));
+                .unwrap_or_else(|e| panic!("Q{q} under seeded crash (fault seed {SEED}): {e}"));
             // QueryStats mirrors the result-level retry count, reports the
             // lease's buffered-cell high-water mark, and shows no queue
             // wait for this uncontended single client.
@@ -152,14 +152,14 @@ fn seeded_mid_run_crash_recovers_and_replays() {
             "site3 should be dead: {liveness:?}"
         );
         for ((q, rows), baseline) in queries.iter().zip(rows_per_query).zip(&baselines) {
-            assert_rows_close(baseline, rows, &format!("Q{q} under seeded crash"));
+            assert_rows_close(baseline, rows, &format!("Q{q} under seeded crash (seed {SEED})"));
         }
     }
     // Replay: the two identically-seeded runs agree exactly.
-    assert_eq!(runs[0].1, runs[1].1, "retry counts diverged between replays");
-    assert_eq!(runs[0].2, runs[1].2, "liveness diverged between replays");
+    assert_eq!(runs[0].1, runs[1].1, "retry counts diverged between replays of seed {SEED}");
+    assert_eq!(runs[0].2, runs[1].2, "liveness diverged between replays of seed {SEED}");
     for ((q, a), b) in queries.iter().zip(&runs[0].0).zip(&runs[1].0) {
-        assert_rows_close(a, b, &format!("Q{q} replay"));
+        assert_rows_close(a, b, &format!("Q{q} replay (seed {SEED})"));
     }
 }
 
@@ -169,13 +169,15 @@ fn seeded_mid_run_crash_recovers_and_replays() {
 /// span tree.
 #[test]
 fn failed_over_query_trace_records_both_attempts() {
+    const SEED: u64 = 77;
     let cluster = chaos_cluster(1);
     // Crash from tick 1 so attempt 0 plans against a live site 3 and dies
     // mid-run; attempt 1 replans around the dead site and succeeds.
-    cluster.install_faults(FaultPlan::new(77).crash(SiteId(3), 1));
+    cluster.install_faults(FaultPlan::new(SEED).crash(SiteId(3), 1));
     let (result, trace) = cluster.query_traced(0, "SELECT count(*) FROM lineitem");
-    let result = result.expect("failover should recover the query");
-    assert!(result.retries >= 1, "query must have failed over at least once");
+    let result = result
+        .unwrap_or_else(|e| panic!("failover should recover the query (fault seed {SEED}): {e}"));
+    assert!(result.retries >= 1, "query must have failed over at least once (fault seed {SEED})");
 
     trace.validate().expect("well-formed span tree despite the mid-run crash");
     let spans = trace.spans();
@@ -243,7 +245,8 @@ fn governor_sheds_queued_queries_during_site_crash() {
     let baseline = cluster.query(&tpch::query(6)).unwrap().rows;
     // Crash site 3 from tick 1: whichever query runs first hits it mid-run
     // while the other clients are queued or being shed.
-    cluster.install_faults(FaultPlan::new(99).crash(SiteId(3), 1));
+    const SEED: u64 = 99;
+    cluster.install_faults(FaultPlan::new(SEED).crash(SiteId(3), 1));
 
     let cluster = Arc::new(cluster);
     let barrier = Arc::new(Barrier::new(CLIENTS));
@@ -265,7 +268,7 @@ fn governor_sheds_queued_queries_during_site_crash() {
     for h in handles {
         match h.join().expect("client thread panicked") {
             Ok(r) => {
-                assert_rows_close(&baseline, &r.rows, "Q6 under overload + crash");
+                assert_rows_close(&baseline, &r.rows, &format!("Q6 under overload + crash (seed {SEED})"));
                 assert_eq!(r.stats.retries, r.retries);
                 saw_queue_wait |= r.stats.queue_wait > Duration::ZERO;
                 total_retries += r.retries;
@@ -276,7 +279,7 @@ fn governor_sheds_queued_queries_during_site_crash() {
                 assert!(!e.is_failover_retryable());
                 shed += 1;
             }
-            Err(other) => panic!("expected success or Overloaded, got {other}"),
+            Err(other) => panic!("expected success or Overloaded (fault seed {SEED}), got {other}"),
         }
     }
     assert_eq!(ok + shed, CLIENTS);

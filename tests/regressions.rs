@@ -1,0 +1,50 @@
+//! Replay every minimized fuzz reproducer under `tests/regressions/`.
+//!
+//! Each `.fix` file is a self-contained scenario — schema, cluster shape,
+//! fault schedule, SQL — distilled from a differential-fuzzing failure
+//! (see `crates/fuzz`). Replaying them through the full oracle battery on
+//! every `cargo test` keeps fixed bugs fixed; a red fixture prints its
+//! governing seed and path so `ic-fuzz --replay-fixture` reproduces it
+//! standalone.
+
+use ic_fuzz::{Env, Fixture};
+use std::path::PathBuf;
+
+#[test]
+fn all_regression_fixtures_replay_green() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let p = entry.expect("readable dir entry").path();
+            (p.extension().is_some_and(|x| x == "fix")).then_some(p)
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 2,
+        "expected at least 2 regression fixtures in {}, found {}",
+        dir.display(),
+        paths.len()
+    );
+
+    let mut env = Env::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let fixture = Fixture::parse(&text)
+            .unwrap_or_else(|e| panic!("bad fixture {}: {e}", path.display()));
+        let outcome = fixture
+            .replay(&mut env)
+            .unwrap_or_else(|e| panic!("fixture {} did not replay: {e}", path.display()));
+        if let Some(d) = &outcome.disagreement {
+            panic!(
+                "regression fixture {} (seed {}) failed — replay with \
+                 `cargo run -p ic-fuzz -- --replay-fixture {}`:\n{d}",
+                path.display(),
+                fixture.seed,
+                path.display()
+            );
+        }
+    }
+}
