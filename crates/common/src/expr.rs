@@ -526,12 +526,21 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> IcResult<Datu
 
     let l = left.eval(row)?;
     let r = right.eval(row)?;
+    apply_binary(op, &l, &r)
+}
+
+/// Apply a non-logical binary operator to two already-evaluated operands:
+/// SQL NULL propagation, comparison via [`Datum::sql_cmp`], arithmetic with
+/// Int/Double coercion and `x / 0 → NULL`. Shared by the row interpreter
+/// and the vectorized evaluator's per-row fallback paths so both planes
+/// agree bit-for-bit.
+pub fn apply_binary(op: BinOp, l: &Datum, r: &Datum) -> IcResult<Datum> {
     if l.is_null() || r.is_null() {
         return Ok(Datum::Null);
     }
     if op.is_comparison() {
         let ord = l
-            .sql_cmp(&r)
+            .sql_cmp(r)
             .ok_or_else(|| IcError::Exec(format!("cannot compare {l} and {r}")))?;
         let b = match op {
             BinOp::Eq => ord == std::cmp::Ordering::Equal,

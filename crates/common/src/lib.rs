@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 
 pub mod agg;
+pub mod col;
 pub mod datum;
 pub mod dates;
 pub mod error;
@@ -22,6 +23,7 @@ pub mod obs;
 pub mod row;
 pub mod schema;
 
+pub use col::{Bitmap, Column, ColumnBatch, ColumnBuilder, ColumnData};
 pub use datum::{DataType, Datum};
 pub use error::{IcError, IcResult};
 pub use expr::{BinOp, Expr, FuncKind};

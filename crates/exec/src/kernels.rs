@@ -1,131 +1,235 @@
-//! Batch-at-a-time execution kernels: the shared hash-table machinery
-//! behind `HashJoinExec` and `HashAggExec`.
+//! Columnar execution kernels: tight per-column loops over contiguous
+//! [`ColumnBatch`] buffers, behind `HashJoinExec`, `HashAggExec` and
+//! `SortExec`.
 //!
-//! Both kernels are built on `ic_common::hash::FlatMap`, an open-addressing
-//! table from precomputed 64-bit key hashes to `u32` indices. Key datums are
-//! cloned exactly once — when a key is first inserted — and never per probe
-//! row: probes hash the key columns in place (`Row::hash_key` allocates
-//! nothing) and resolve collisions by comparing datums behind the index.
+//! This module is the hot core of the columnar data plane and is lint-gated
+//! by rule L008: no per-row `Datum` materialization inside kernel loops —
+//! values move through typed column accessors (`push_from_column`,
+//! `eq_at`/`eq_datum`, `cmp_at`, vectorized hashing) and the few
+//! unavoidable per-*group* datum touches carry explicit pragmas.
 //!
-//! [`JoinHashTable`] keeps build rows in a contiguous arena in arrival
-//! order; rows sharing a key are linked through a `next`-index chain whose
-//! head is the first arrival, so probing yields matches in build order —
-//! bit-identical output to the previous `HashMap<Vec<Datum>, Vec<Row>>`
-//! implementation. [`GroupTable`] stores group keys flattened into one
-//! `Vec<Datum>` and accumulators flattened into one `Vec<Accumulator>`,
-//! indexed by group slot.
+//! [`ColJoinTable`] chains build rows by their 64-bit key hash inside an
+//! `ic_common::hash::FlatMap`; rows are appended column-wise into a
+//! [`ColumnBuilder`] arena and frozen into a dense [`ColumnBatch`] once the
+//! build side is exhausted, so probes resolve key equality with typed
+//! column-vs-column comparisons (`eq_at`) instead of datum clones. Chains
+//! preserve build insertion order, which keeps join output bit-identical to
+//! the row plane in [`crate::row_kernels`]. [`ColGroupTable`] stores group
+//! keys flattened into one `Vec<Datum>` (materialized once per distinct
+//! group) and accumulators flattened into one `Vec<Accumulator>`; per-batch
+//! accumulation runs one typed loop per aggregate over the argument column,
+//! skipping validity-masked rows (NULL updates are no-ops for every
+//! accumulator).
 
 use ic_common::agg::Accumulator;
 use ic_common::hash::FlatMap;
-use ic_common::{Datum, Row};
-use ic_plan::ops::AggCall;
+use ic_common::{Column, ColumnBatch, ColumnBuilder, ColumnData, Datum, IcResult};
+use ic_plan::ops::{AggCall, SortKey};
+use std::cmp::Ordering;
+use std::sync::Arc;
 
-const NIL: u32 = u32::MAX;
+/// Sentinel index: end of a hash chain, or "no build match" in a probe
+/// pair (drives LEFT-join null extension).
+pub const NIL: u32 = u32::MAX;
 
-/// Hash table for the build side of a hash join.
-pub struct JoinHashTable {
+/// Columnar hash table for the build side of a hash join.
+///
+/// All build rows sharing a 64-bit key hash live on one chain; true key
+/// equality is resolved at probe time with typed column comparisons, so
+/// the build loop never clones a key datum.
+pub struct ColJoinTable {
     map: FlatMap,
     key_cols: Vec<usize>,
-    /// Build rows in insertion order.
-    arena: Vec<Row>,
-    /// Per-arena-row link to the next row with the same key (NIL ends the
-    /// chain). Chains start at the first-inserted row of the key.
+    /// Column-wise arena under construction (build phase only).
+    builders: Vec<ColumnBuilder>,
+    /// Frozen arena; empty until [`ColJoinTable::finish_build`].
+    arena: ColumnBatch,
+    nrows: usize,
+    /// Per-arena-row link to the next row with the same hash (NIL ends the
+    /// chain). Chains start at the first-inserted row.
     next: Vec<u32>,
     /// Per-chain-head index of the chain's current last row, so appending
     /// preserves insertion order at O(1).
     tail: Vec<u32>,
 }
 
-impl JoinHashTable {
-    pub fn new(key_cols: Vec<usize>) -> JoinHashTable {
-        JoinHashTable {
+impl ColJoinTable {
+    /// New table keyed on `key_cols` over build rows of `width` columns.
+    pub fn new(key_cols: Vec<usize>, width: usize) -> ColJoinTable {
+        ColJoinTable {
             map: FlatMap::with_capacity(1024),
             key_cols,
-            arena: Vec::new(),
+            builders: (0..width).map(|_| ColumnBuilder::new()).collect(),
+            arena: ColumnBatch::empty(width),
+            nrows: 0,
             next: Vec::new(),
             tail: Vec::new(),
         }
     }
 
+    /// Number of build rows inserted (NULL-key rows excluded).
     pub fn len(&self) -> usize {
-        self.arena.len()
+        self.nrows
     }
 
+    /// True when no build rows were inserted.
     pub fn is_empty(&self) -> bool {
-        self.arena.is_empty()
+        self.nrows == 0
     }
 
-    /// Insert one build row. Rows with a NULL in any key column are skipped
-    /// by the caller (NULL keys never match in SQL equi-joins).
-    #[inline]
-    pub fn insert(&mut self, row: Row) {
-        let hash = row.hash_key(&self.key_cols);
-        let new_idx = self.arena.len() as u32;
-        let (head, inserted) = {
-            let arena = &self.arena;
-            let key_cols = &self.key_cols;
-            self.map.get_or_insert(
-                hash,
-                |p| {
-                    let existing = &arena[p as usize];
-                    key_cols.iter().all(|&c| existing.0[c] == row.0[c])
-                },
-                || new_idx,
-            )
-        };
-        self.arena.push(row);
-        self.next.push(NIL);
-        self.tail.push(new_idx);
-        if !inserted {
-            let old_tail = self.tail[head as usize] as usize;
-            self.next[old_tail] = new_idx;
-            self.tail[head as usize] = new_idx;
+    /// The frozen build arena (dense; valid after `finish_build`).
+    pub fn arena(&self) -> &ColumnBatch {
+        &self.arena
+    }
+
+    /// Insert one build batch. Rows with a NULL in any key column are
+    /// skipped (NULL keys never match in SQL equi-joins); surviving rows
+    /// are appended column-wise in one pass per column.
+    pub fn insert_batch(&mut self, batch: &ColumnBatch) {
+        let hashes = batch.hash_keys(&self.key_cols);
+        let n = batch.num_rows();
+        let mut keep: Vec<u32> = Vec::with_capacity(n);
+        for (k, &hash) in hashes.iter().enumerate().take(n) {
+            let phys = batch.phys_index(k);
+            if self.key_cols.iter().any(|&c| !batch.col(c).is_valid(phys)) {
+                continue;
+            }
+            let new_idx = self.nrows as u32;
+            let (head, inserted) = self.map.get_or_insert(hash, |_| true, || new_idx);
+            self.next.push(NIL);
+            self.tail.push(new_idx);
+            if !inserted {
+                let old_tail = self.tail[head as usize] as usize;
+                self.next[old_tail] = new_idx;
+                self.tail[head as usize] = new_idx;
+            }
+            self.nrows += 1;
+            keep.push(phys as u32);
+        }
+        for (b, col) in self.builders.iter_mut().zip(batch.columns()) {
+            b.append_column(col, Some(&keep));
         }
     }
 
-    /// All build rows matching `probe`'s key columns, in build insertion
-    /// order. NULL probe keys match nothing.
+    /// Freeze the column-wise arena; must run after the last
+    /// `insert_batch` and before the first probe.
+    pub fn finish_build(&mut self) {
+        let cols: Vec<Arc<Column>> =
+            self.builders.drain(..).map(|b| Arc::new(b.finish())).collect();
+        self.arena = ColumnBatch::new(cols, self.nrows);
+    }
+
+    /// Typed key equality between probe row `phys` (physical index) and
+    /// arena row `build_idx`.
     #[inline]
-    pub fn probe<'t>(&'t self, probe: &Row, probe_keys: &[usize]) -> MatchIter<'t> {
-        if probe_keys.iter().any(|&c| probe.0[c].is_null()) {
-            return MatchIter { table: self, cursor: NIL };
+    fn key_eq(&self, probe: &ColumnBatch, probe_keys: &[usize], phys: usize, build_idx: u32) -> bool {
+        self.key_cols
+            .iter()
+            .zip(probe_keys)
+            .all(|(&bc, &pc)| self.arena.col(bc).eq_at(build_idx as usize, probe.col(pc), phys))
+    }
+
+    /// Probe one batch, producing parallel `(probe logical row, arena row)`
+    /// pair vectors in probe-row order with per-key matches in build
+    /// insertion order. With `emit_unmatched` (LEFT joins), a probe row
+    /// with no match contributes one `(k, NIL)` pair at its position; NULL
+    /// probe keys match nothing.
+    pub fn probe_pairs(
+        &self,
+        batch: &ColumnBatch,
+        probe_keys: &[usize],
+        emit_unmatched: bool,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let hashes = batch.hash_keys(probe_keys);
+        let n = batch.num_rows();
+        let mut pks: Vec<u32> = Vec::with_capacity(n);
+        let mut bis: Vec<u32> = Vec::with_capacity(n);
+        for (k, &hash) in hashes.iter().enumerate().take(n) {
+            let phys = batch.phys_index(k);
+            let mut found = false;
+            if !probe_keys.iter().any(|&c| !batch.col(c).is_valid(phys)) {
+                let mut cur = self.map.get(hash, |_| true).unwrap_or(NIL);
+                while cur != NIL {
+                    if self.key_eq(batch, probe_keys, phys, cur) {
+                        pks.push(k as u32);
+                        bis.push(cur);
+                        found = true;
+                    }
+                    cur = self.next[cur as usize];
+                }
+            }
+            if !found && emit_unmatched {
+                pks.push(k as u32);
+                bis.push(NIL);
+            }
         }
-        let hash = probe.hash_key(probe_keys);
-        let head = self.map.get(hash, |p| {
-            let build = &self.arena[p as usize];
-            self.key_cols
-                .iter()
-                .zip(probe_keys)
-                .all(|(&bc, &pc)| build.0[bc] == probe.0[pc])
-        });
-        MatchIter { table: self, cursor: head.unwrap_or(NIL) }
+        (pks, bis)
+    }
+
+    /// Per-logical-row "has at least one key match" flags (short-circuits
+    /// each chain) — the SEMI/ANTI fast path that never materializes.
+    pub fn probe_matched(&self, batch: &ColumnBatch, probe_keys: &[usize]) -> Vec<bool> {
+        let hashes = batch.hash_keys(probe_keys);
+        let n = batch.num_rows();
+        let mut out = Vec::with_capacity(n);
+        for (k, &hash) in hashes.iter().enumerate().take(n) {
+            let phys = batch.phys_index(k);
+            let mut found = false;
+            if !probe_keys.iter().any(|&c| !batch.col(c).is_valid(phys)) {
+                let mut cur = self.map.get(hash, |_| true).unwrap_or(NIL);
+                while cur != NIL {
+                    if self.key_eq(batch, probe_keys, phys, cur) {
+                        found = true;
+                        break;
+                    }
+                    cur = self.next[cur as usize];
+                }
+            }
+            out.push(found);
+        }
+        out
     }
 }
 
-/// Iterator over one key's chain of build rows.
-pub struct MatchIter<'t> {
-    table: &'t JoinHashTable,
-    cursor: u32,
-}
-
-impl<'t> Iterator for MatchIter<'t> {
-    type Item = &'t Row;
-
-    #[inline]
-    fn next(&mut self) -> Option<&'t Row> {
-        if self.cursor == NIL {
-            return None;
+/// Materialize hash-join output pairs: probe columns gathered by logical
+/// row, arena columns gathered by arena index with `NIL` → NULL (LEFT-join
+/// extension). One tight loop per output column.
+pub fn gather_join_output(
+    probe: &ColumnBatch,
+    pks: &[u32],
+    arena: &ColumnBatch,
+    bis: &[u32],
+) -> ColumnBatch {
+    debug_assert_eq!(pks.len(), bis.len());
+    let mut cols: Vec<Arc<Column>> = Vec::with_capacity(probe.width() + arena.width());
+    for c in 0..probe.width() {
+        let col = probe.col(c);
+        let mut b = ColumnBuilder::new();
+        for &k in pks {
+            b.push_from_column(col, probe.phys_index(k as usize));
         }
-        let idx = self.cursor as usize;
-        self.cursor = self.table.next[idx];
-        Some(&self.table.arena[idx])
+        cols.push(Arc::new(b.finish()));
     }
+    for c in 0..arena.width() {
+        let col = arena.col(c);
+        let mut b = ColumnBuilder::new();
+        for &bi in bis {
+            if bi == NIL {
+                b.push_null();
+            } else {
+                b.push_from_column(col, bi as usize);
+            }
+        }
+        cols.push(Arc::new(b.finish()));
+    }
+    ColumnBatch::new(cols, pks.len())
 }
 
-/// Grouped accumulator storage for hash aggregation: group keys and
-/// accumulators live in flat arrays indexed by group slot; the key datums
-/// are materialized once per distinct group.
-pub struct GroupTable {
+/// Grouped accumulator storage for columnar hash aggregation: group keys
+/// and accumulators live in flat arrays indexed by group slot; key datums
+/// are materialized once per distinct group, and per-batch accumulation is
+/// one typed loop per aggregate.
+pub struct ColGroupTable {
     map: FlatMap,
     group_cols: Vec<usize>,
     naggs: usize,
@@ -136,12 +240,12 @@ pub struct GroupTable {
     accs: Vec<Accumulator>,
 }
 
-impl GroupTable {
-    pub fn new(group_cols: Vec<usize>, naggs: usize) -> GroupTable {
-        GroupTable {
+impl ColGroupTable {
+    /// New table grouping on `group_cols` with `naggs` aggregates per group.
+    pub fn new(group_cols: Vec<usize>, naggs: usize) -> ColGroupTable {
+        ColGroupTable {
             // Start small: grouped aggregation often has a handful of
-            // groups (TPC-H Q1 has 8) and a small table stays L1-resident;
-            // FlatMap grows as groups appear.
+            // groups (TPC-H Q1 has 8) and a small table stays L1-resident.
             map: FlatMap::with_capacity(64),
             group_cols,
             naggs,
@@ -151,53 +255,132 @@ impl GroupTable {
         }
     }
 
+    /// Number of distinct groups seen.
     pub fn len(&self) -> usize {
         self.ngroups
     }
 
+    /// True when no group exists yet.
     pub fn is_empty(&self) -> bool {
         self.ngroups == 0
     }
 
-    /// Find `row`'s group, creating it (with fresh accumulators from
-    /// `aggs`) on first sight. Returns the group slot.
-    #[inline]
-    pub fn lookup_or_insert(&mut self, row: &Row, aggs: &[AggCall]) -> usize {
+    /// Resolve every logical row of `batch` to its group slot (creating
+    /// groups with fresh accumulators from `aggs` on first sight), writing
+    /// slots into the reused `slots` buffer.
+    pub fn slots_for_batch(&mut self, batch: &ColumnBatch, aggs: &[AggCall], slots: &mut Vec<u32>) {
+        slots.clear();
         let klen = self.group_cols.len();
+        let n = batch.num_rows();
         if klen == 0 {
-            // Scalar aggregation: one implicit group.
-            if self.accs.is_empty() {
+            self.ensure_scalar_group(aggs);
+            slots.resize(n, 0);
+            return;
+        }
+        let hashes = batch.hash_keys(&self.group_cols);
+        for (k, &hash) in hashes.iter().enumerate().take(n) {
+            let phys = batch.phys_index(k);
+            let new_slot = self.ngroups as u32;
+            let (slot, inserted) = {
+                let keys = &self.keys;
+                let group_cols = &self.group_cols;
+                self.map.get_or_insert(
+                    hash,
+                    |p| {
+                        let base = p as usize * klen;
+                        group_cols
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &c)| batch.col(c).eq_datum(phys, &keys[base + i]))
+                    },
+                    || new_slot,
+                )
+            };
+            if inserted {
+                for &c in &self.group_cols {
+                    // ic-lint: allow(L008) because group keys materialize once per distinct group, not per row
+                    self.keys.push(batch.col(c).datum_at(phys));
+                }
                 self.accs.extend(aggs.iter().map(|a| Accumulator::new(a.func)));
-                self.ngroups = 1;
+                self.ngroups += 1;
             }
-            return 0;
+            slots.push(slot);
         }
-        let hash = row.hash_key(&self.group_cols);
-        let new_slot = self.ngroups as u32;
-        let (slot, inserted) = {
-            let keys = &self.keys;
-            let group_cols = &self.group_cols;
-            self.map.get_or_insert(
-                hash,
-                |p| {
-                    let base = p as usize * klen;
-                    group_cols
-                        .iter()
-                        .enumerate()
-                        .all(|(i, &c)| keys[base + i] == row.0[c])
-                },
-                || new_slot,
-            )
-        };
-        if inserted {
-            self.keys.extend(self.group_cols.iter().map(|&c| row.0[c].clone()));
-            self.accs.extend(aggs.iter().map(|a| Accumulator::new(a.func)));
-            self.ngroups += 1;
-        }
-        slot as usize
     }
 
-    /// Mutable view of one group's accumulators.
+    /// Fold one argument column into aggregate `agg_idx` of each row's
+    /// group: a typed per-column loop that skips validity-masked rows
+    /// (NULL updates are no-ops for every accumulator variant). `sel` is
+    /// the batch's selection vector when the column is a physical input
+    /// column; `None` when the column is already logically dense.
+    pub fn accumulate(
+        &mut self,
+        agg_idx: usize,
+        col: &Column,
+        sel: Option<&[u32]>,
+        slots: &[u32],
+    ) -> IcResult<()> {
+        let naggs = self.naggs;
+        let phys = |k: usize| sel.map_or(k, |s| s[k] as usize);
+        match &col.data {
+            ColumnData::Int(v) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let i = phys(k);
+                    if col.is_valid(i) {
+                        self.accs[slot as usize * naggs + agg_idx].update(Datum::Int(v[i]))?;
+                    }
+                }
+            }
+            ColumnData::Double(v) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let i = phys(k);
+                    if col.is_valid(i) {
+                        self.accs[slot as usize * naggs + agg_idx].update(Datum::Double(v[i]))?;
+                    }
+                }
+            }
+            ColumnData::Date(v) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let i = phys(k);
+                    if col.is_valid(i) {
+                        self.accs[slot as usize * naggs + agg_idx].update(Datum::Date(v[i]))?;
+                    }
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let i = phys(k);
+                    if col.is_valid(i) {
+                        self.accs[slot as usize * naggs + agg_idx].update(Datum::Bool(v[i]))?;
+                    }
+                }
+            }
+            // String and mixed-type columns have no scalar fast path: MIN/MAX
+            // and COUNT DISTINCT over strings need an owned datum anyway.
+            ColumnData::Str { .. } | ColumnData::Any(_) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let i = phys(k);
+                    if col.is_valid(i) {
+                        // ic-lint: allow(L008) because string/any aggregates need owned datums (Arc bump, no byte copy)
+                        self.accs[slot as usize * naggs + agg_idx].update(col.datum_at(i))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// COUNT(*): bump aggregate `agg_idx` once per logical row (no
+    /// argument column, NULLs included).
+    pub fn accumulate_count_star(&mut self, agg_idx: usize, slots: &[u32]) -> IcResult<()> {
+        let naggs = self.naggs;
+        for &slot in slots {
+            self.accs[slot as usize * naggs + agg_idx].update(Datum::Int(1))?;
+        }
+        Ok(())
+    }
+
+    /// Mutable view of one group's accumulators (Final-phase state merge).
     #[inline]
     pub fn accs_mut(&mut self, slot: usize) -> &mut [Accumulator] {
         let base = slot * self.naggs;
@@ -228,59 +411,187 @@ impl GroupTable {
     }
 }
 
+/// Sort permutation over a dense batch: the indices of `batch`'s rows in
+/// `keys` order (NULLs first per `Datum`'s total order, original index as
+/// the final tie-break, so the permutation is stable and deterministic).
+///
+/// Numeric/date/bool key columns are first encoded into order-preserving
+/// `u128` words (validity in the high half, bitwise-NOT for `DESC`), so the
+/// sort compares machine integers instead of dispatching on the column enum
+/// per comparison. String, mixed-type, and NaN-bearing keys fall back to
+/// the [`Column::cmp_at`] comparator with identical ordering.
+pub fn sort_permutation(batch: &ColumnBatch, keys: &[SortKey]) -> Vec<u32> {
+    debug_assert!(batch.selection().is_none(), "sort_permutation needs a dense batch");
+    let n = batch.num_rows();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    if let Some(keybuf) = encode_sort_keys(batch, keys) {
+        let klen = keys.len();
+        if klen == 1 {
+            let mut dec: Vec<(u128, u32)> =
+                keybuf.into_iter().zip(0..n as u32).collect();
+            dec.sort_unstable();
+            return dec.into_iter().map(|(_, i)| i).collect();
+        }
+        idx.sort_unstable_by(|&a, &b| {
+            let (ab, bb) = (a as usize * klen, b as usize * klen);
+            keybuf[ab..ab + klen].cmp(&keybuf[bb..bb + klen]).then(a.cmp(&b))
+        });
+        return idx;
+    }
+    idx.sort_unstable_by(|&a, &b| {
+        for k in keys {
+            let col = batch.col(k.col);
+            let mut ord = col.cmp_at(a as usize, col, b as usize);
+            if k.desc {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b)
+    });
+    idx
+}
+
+#[inline]
+fn put_sort_word(buf: &mut [u128], i: usize, klen: usize, k: usize, desc: bool, valid: bool, word: u64) {
+    let mut enc = ((valid as u128) << 64) | word as u128;
+    if desc {
+        // Bitwise NOT reverses the unsigned order wholesale, which also
+        // moves NULLs last — exactly `cmp_at(..).reverse()`.
+        enc = !enc;
+    }
+    buf[i * klen + k] = enc;
+}
+
+/// Row-major order-preserving key words for [`sort_permutation`], or `None`
+/// when some key column has no integer encoding (strings, mixed `Any`
+/// columns, NaN doubles) and the comparator fallback must run.
+fn encode_sort_keys(batch: &ColumnBatch, keys: &[SortKey]) -> Option<Vec<u128>> {
+    const SIGN: u64 = 1 << 63;
+    let n = batch.num_rows();
+    let klen = keys.len();
+    let mut buf = vec![0u128; n * klen];
+    for (k, key) in keys.iter().enumerate() {
+        let col = batch.col(key.col);
+        match &col.data {
+            ColumnData::Int(v) => {
+                for (i, &x) in v.iter().enumerate().take(n) {
+                    put_sort_word(&mut buf, i, klen, k, key.desc, col.is_valid(i), (x as u64) ^ SIGN);
+                }
+            }
+            ColumnData::Double(v) => {
+                for (i, &x) in v.iter().enumerate().take(n) {
+                    if x.is_nan() && col.is_valid(i) {
+                        // `cmp_at` treats NaN as equal-to-anything; no
+                        // integer encoding reproduces that, so punt.
+                        return None;
+                    }
+                    // Normalize -0.0: cmp_at orders it equal to +0.0.
+                    let bits = (if x == 0.0 { 0.0f64 } else { x }).to_bits();
+                    let word = if bits & SIGN != 0 { !bits } else { bits | SIGN };
+                    put_sort_word(&mut buf, i, klen, k, key.desc, col.is_valid(i), word);
+                }
+            }
+            ColumnData::Date(v) => {
+                for (i, &x) in v.iter().enumerate().take(n) {
+                    put_sort_word(&mut buf, i, klen, k, key.desc, col.is_valid(i), (x as i64 as u64) ^ SIGN);
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (i, &x) in v.iter().enumerate().take(n) {
+                    put_sort_word(&mut buf, i, klen, k, key.desc, col.is_valid(i), x as u64);
+                }
+            }
+            ColumnData::Str { .. } | ColumnData::Any(_) => return None,
+        }
+    }
+    Some(buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ic_common::agg::AggFunc;
-    use ic_common::Expr;
+    use ic_common::{Expr, Row};
 
-    fn row(vals: &[i64]) -> Row {
-        Row(vals.iter().map(|&v| Datum::Int(v)).collect())
+    fn batch(rows: &[&[i64]]) -> ColumnBatch {
+        let rows: Vec<Row> =
+            rows.iter().map(|r| Row(r.iter().map(|&v| Datum::Int(v)).collect())).collect();
+        ColumnBatch::from_rows(&rows)
     }
 
     #[test]
     fn join_table_chains_preserve_insertion_order() {
-        let mut t = JoinHashTable::new(vec![0]);
-        t.insert(row(&[7, 1]));
-        t.insert(row(&[8, 2]));
-        t.insert(row(&[7, 3]));
-        t.insert(row(&[7, 4]));
-        let probe = row(&[7]);
-        let seconds: Vec<i64> =
-            t.probe(&probe, &[0]).map(|r| r.0[1].as_int().unwrap()).collect();
-        assert_eq!(seconds, vec![1, 3, 4]);
-        assert_eq!(t.probe(&row(&[9]), &[0]).count(), 0);
+        let mut t = ColJoinTable::new(vec![0], 2);
+        t.insert_batch(&batch(&[&[7, 1], &[8, 2], &[7, 3], &[7, 4]]));
+        t.finish_build();
+        let probe = batch(&[&[7], &[9]]);
+        let (pks, bis) = t.probe_pairs(&probe, &[0], false);
+        assert_eq!(pks, vec![0, 0, 0]);
+        let seconds: Vec<Datum> =
+            bis.iter().map(|&bi| t.arena().datum_at(1, bi as usize)).collect();
+        assert_eq!(seconds, vec![Datum::Int(1), Datum::Int(3), Datum::Int(4)]);
     }
 
     #[test]
-    fn join_table_null_probe_matches_nothing() {
-        let mut t = JoinHashTable::new(vec![0]);
-        t.insert(row(&[1, 10]));
-        let null_probe = Row(vec![Datum::Null]);
-        assert_eq!(t.probe(&null_probe, &[0]).count(), 0);
+    fn join_table_null_keys_skipped_both_sides() {
+        let mut t = ColJoinTable::new(vec![0], 2);
+        let build = ColumnBatch::from_rows(&[
+            Row(vec![Datum::Int(1), Datum::Int(10)]),
+            Row(vec![Datum::Null, Datum::Int(99)]),
+        ]);
+        t.insert_batch(&build);
+        t.finish_build();
+        assert_eq!(t.len(), 1);
+        let probe = ColumnBatch::from_rows(&[Row(vec![Datum::Null]), Row(vec![Datum::Int(1)])]);
+        let (pks, bis) = t.probe_pairs(&probe, &[0], true);
+        assert_eq!(pks, vec![0, 1]);
+        assert_eq!(bis[0], NIL);
+        assert_eq!(bis[1], 0);
+        assert_eq!(t.probe_matched(&probe, &[0]), vec![false, true]);
     }
 
     #[test]
     fn join_table_many_keys() {
-        let mut t = JoinHashTable::new(vec![0]);
-        for i in 0..5_000i64 {
-            t.insert(row(&[i % 1000, i]));
+        let rows: Vec<Row> =
+            (0..5_000i64).map(|i| Row(vec![Datum::Int(i % 1000), Datum::Int(i)])).collect();
+        let mut t = ColJoinTable::new(vec![0], 2);
+        for chunk in rows.chunks(1024) {
+            t.insert_batch(&ColumnBatch::from_rows(chunk));
         }
+        t.finish_build();
         assert_eq!(t.len(), 5_000);
-        for k in 0..1000i64 {
-            assert_eq!(t.probe(&row(&[k]), &[0]).count(), 5);
-        }
+        let probe: Vec<Row> = (0..1000i64).map(|k| Row(vec![Datum::Int(k)])).collect();
+        let (pks, _) = t.probe_pairs(&ColumnBatch::from_rows(&probe), &[0], false);
+        assert_eq!(pks.len(), 5_000);
+    }
+
+    #[test]
+    fn gather_pairs_null_extends() {
+        let mut t = ColJoinTable::new(vec![0], 2);
+        t.insert_batch(&batch(&[&[2, 20]]));
+        t.finish_build();
+        let probe = batch(&[&[1], &[2]]);
+        let (pks, bis) = t.probe_pairs(&probe, &[0], true);
+        let out = gather_join_output(&probe, &pks, t.arena(), &bis);
+        let rows = out.to_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].0[1].is_null() && rows[0].0[2].is_null());
+        assert_eq!(rows[1], Row(vec![Datum::Int(2), Datum::Int(2), Datum::Int(20)]));
     }
 
     #[test]
     fn group_table_accumulates_per_key() {
         let aggs =
             vec![AggCall { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() }];
-        let mut g = GroupTable::new(vec![0], 1);
-        for (k, v) in [(1, 10), (2, 5), (1, 20)] {
-            let slot = g.lookup_or_insert(&row(&[k, v]), &aggs);
-            g.accs_mut(slot)[0].update(Datum::Int(v)).unwrap();
-        }
+        let mut g = ColGroupTable::new(vec![0], 1);
+        let b = batch(&[&[1, 10], &[2, 5], &[1, 20]]);
+        let mut slots = Vec::new();
+        g.slots_for_batch(&b, &aggs, &mut slots);
+        assert_eq!(slots, vec![0, 1, 0]);
+        g.accumulate(0, b.col(1), b.selection(), &slots).unwrap();
         assert_eq!(g.len(), 2);
         let (key, accs) = g.take_group(0);
         assert_eq!(key, vec![Datum::Int(1)]);
@@ -291,14 +602,102 @@ mod tests {
     }
 
     #[test]
+    fn group_table_null_keys_collapse_and_masked_rows_skip() {
+        let aggs =
+            vec![AggCall { func: AggFunc::Count, arg: Some(Expr::col(1)), name: "c".into() }];
+        let b = ColumnBatch::from_rows(&[
+            Row(vec![Datum::Null, Datum::Int(1)]),
+            Row(vec![Datum::Null, Datum::Null]),
+            Row(vec![Datum::Int(3), Datum::Int(2)]),
+        ]);
+        let mut g = ColGroupTable::new(vec![0], 1);
+        let mut slots = Vec::new();
+        g.slots_for_batch(&b, &aggs, &mut slots);
+        assert_eq!(slots, vec![0, 0, 1]);
+        g.accumulate(0, b.col(1), b.selection(), &slots).unwrap();
+        let (key, accs) = g.take_group(0);
+        assert!(key[0].is_null());
+        // COUNT skips the NULL argument row.
+        assert_eq!(accs[0].finish(), Datum::Int(1));
+    }
+
+    #[test]
     fn group_table_scalar_group() {
         let aggs = vec![AggCall { func: AggFunc::CountStar, arg: None, name: "c".into() }];
-        let mut g = GroupTable::new(vec![], 1);
+        let mut g = ColGroupTable::new(vec![], 1);
         assert_eq!(g.len(), 0);
         g.ensure_scalar_group(&aggs);
         assert_eq!(g.len(), 1);
         let (key, accs) = g.take_group(0);
         assert!(key.is_empty());
         assert_eq!(accs[0].finish(), Datum::Int(0));
+    }
+
+    #[test]
+    fn sort_permutation_orders_with_desc_and_ties() {
+        let b = batch(&[&[2, 1], &[1, 2], &[2, 3], &[1, 4]]);
+        let perm = sort_permutation(&b, &[SortKey::desc(0)]);
+        // Descending on col 0, original order within equal keys.
+        assert_eq!(perm, vec![0, 2, 1, 3]);
+        let perm = sort_permutation(&b, &[SortKey::asc(0), SortKey::desc(1)]);
+        assert_eq!(perm, vec![3, 1, 2, 0]);
+    }
+
+    /// The integer-encoded fast path must order exactly like the `cmp_at`
+    /// comparator it shortcuts — across every encodable type, NULLs (first
+    /// asc, last desc), -0.0/+0.0 ties, and the index tie-break.
+    #[test]
+    fn sort_encoding_matches_comparator_fallback() {
+        let mk = |i: u64| {
+            // Deterministic pseudo-random datum mix per column type.
+            let r = i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+            (r % 5, (r >> 8) % 7)
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..257u64 {
+            let (null4, v) = mk(i);
+            let int = if null4 == 0 { Datum::Null } else { Datum::Int(v as i64 - 3) };
+            let (null4b, w) = mk(i + 1000);
+            let dbl = if null4b == 0 {
+                Datum::Null
+            } else if w == 3 {
+                // Both zero signs: must tie under the encoding like cmp_at.
+                Datum::Double(if i % 2 == 0 { 0.0 } else { -0.0 })
+            } else {
+                Datum::Double(w as f64 - 3.5)
+            };
+            let boo = if (i + v) % 4 == 0 { Datum::Null } else { Datum::Bool(i % 3 == 0) };
+            let date = if (i + w) % 4 == 0 { Datum::Null } else { Datum::Date((v as i32) - 2) };
+            rows.push(Row(vec![int, dbl, boo, date]));
+        }
+        let b = ColumnBatch::from_rows(&rows);
+        let reference = |keys: &[SortKey]| {
+            let mut idx: Vec<u32> = (0..b.num_rows() as u32).collect();
+            idx.sort_by(|&x, &y| {
+                for k in keys {
+                    let col = b.col(k.col);
+                    let mut ord = col.cmp_at(x as usize, col, y as usize);
+                    if k.desc {
+                        ord = ord.reverse();
+                    }
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                x.cmp(&y)
+            });
+            idx
+        };
+        for keys in [
+            vec![SortKey::asc(0)],
+            vec![SortKey::desc(0)],
+            vec![SortKey::asc(1)],
+            vec![SortKey::desc(1)],
+            vec![SortKey::asc(2), SortKey::desc(3)],
+            vec![SortKey::desc(1), SortKey::asc(0)],
+            vec![SortKey::asc(3), SortKey::asc(2), SortKey::desc(0)],
+        ] {
+            assert_eq!(sort_permutation(&b, &keys), reference(&keys), "{keys:?}");
+        }
     }
 }

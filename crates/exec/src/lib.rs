@@ -9,9 +9,11 @@
 //! (Algorithm 3, §5.3).
 
 pub mod analyze;
+pub mod eval;
 pub mod fragment;
 pub mod kernels;
 pub mod operators;
+pub mod row_kernels;
 pub mod runtime;
 pub mod variant;
 

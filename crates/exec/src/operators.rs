@@ -1,14 +1,28 @@
 //! Physical operator implementations: pull-based batch iterators
 //! (Volcano-style execution, batched to amortize channel overhead).
+//!
+//! The data plane is columnar: operators exchange [`ColumnBatch`]es —
+//! typed column vectors with validity bitmaps and an optional selection
+//! vector — so filters shrink the selection instead of materializing
+//! output, projections share column `Arc`s, and the join/agg/sort kernels
+//! in [`crate::kernels`] run tight per-column loops. Rows exist only at
+//! the storage scan boundary ([`ScanSource`]/[`MergingIndexScan`] convert
+//! partition snapshots) and inside the row-internal operators
+//! ([`NestedLoopJoinExec`], [`MergeJoinExec`], [`SortAggExec`]) whose
+//! per-row predicates and streaming group logic gain nothing from columns.
 
-use crate::kernels::{GroupTable, JoinHashTable};
+use crate::eval::{eval_expr, eval_filter_sel};
+use crate::kernels::{gather_join_output, ColGroupTable, ColJoinTable, NIL};
 use ic_common::agg::Accumulator;
 use ic_common::obs::{AttemptStats, Counter, SpanId, Trace};
 use ic_common::row::BATCH_SIZE;
-use ic_common::{Batch, Datum, Expr, IcError, IcResult, MemoryLease, MemoryPool, Row};
+use ic_common::{
+    Batch, Column, ColumnBatch, ColumnBuilder, Datum, Expr, IcError, IcResult, MemoryLease,
+    MemoryPool, Row,
+};
 use ic_plan::ops::{AggCall, AggPhase, JoinKind, SortKey};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +41,14 @@ pub struct ExecObs {
     pub op_rows: Arc<Counter>,
     /// Global `exec.op.batches` counter (resolved once per query).
     pub op_batches: Arc<Counter>,
+    /// Global `exec.batch.batches` counter: column batches emitted.
+    pub batch_batches: Arc<Counter>,
+    /// Global `exec.batch.rows` counter: logical rows emitted (after
+    /// selection). `rows / batches` is the mean rows-per-batch.
+    pub batch_rows: Arc<Counter>,
+    /// Global `exec.batch.phys_rows` counter: physical rows backing those
+    /// batches. `rows / phys_rows` is the mean selection density.
+    pub batch_phys_rows: Arc<Counter>,
 }
 
 impl ExecObs {
@@ -39,6 +61,9 @@ impl ExecObs {
             attempt,
             op_rows: reg.counter("exec.op.rows"),
             op_batches: reg.counter("exec.op.batches"),
+            batch_batches: reg.counter("exec.batch.batches"),
+            batch_rows: reg.counter("exec.batch.rows"),
+            batch_phys_rows: reg.counter("exec.batch.phys_rows"),
         }
     }
 }
@@ -101,9 +126,8 @@ impl ControlBlock {
     }
 
     /// Account for a batch buffered in operator state (cells = rows × width).
-    pub fn reserve_batch(&self, batch: &[Row]) -> IcResult<()> {
-        let cells = batch.first().map_or(0, |r| r.arity().max(1)) * batch.len();
-        self.reserve(cells)
+    pub fn reserve_batch(&self, batch: &ColumnBatch) -> IcResult<()> {
+        self.reserve(batch.cells())
     }
 
     /// Account for `n` buffered cells against the query's memory lease.
@@ -226,6 +250,9 @@ pub struct TracedSource {
     open_ns: u64,
     rows: u64,
     batches: u64,
+    /// Physical rows backing the emitted batches; `rows / phys_rows` is
+    /// this operator's output selection density.
+    phys_rows: u64,
     busy_ns: u64,
 }
 
@@ -244,14 +271,45 @@ impl TracedSource {
             o.attempt.record_instance(node);
         }
         let open_ns = ctrl.op_now_ns();
-        TracedSource { inner, ctrl, node, label, lane, parent, open_ns, rows: 0, batches: 0, busy_ns: 0 }
+        TracedSource {
+            inner,
+            ctrl,
+            node,
+            label,
+            lane,
+            parent,
+            open_ns,
+            rows: 0,
+            batches: 0,
+            phys_rows: 0,
+            busy_ns: 0,
+        }
     }
 }
 
 impl RowSource for TracedSource {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         let t0 = self.ctrl.op_now_ns();
         let result = self.inner.next_batch();
+        let dt = self.ctrl.op_now_ns().saturating_sub(t0);
+        self.busy_ns += dt;
+        let (rows, phys, produced) = match &result {
+            Ok(Some(b)) => (b.num_rows() as u64, b.phys_rows() as u64, true),
+            _ => (0, 0, false),
+        };
+        self.rows += rows;
+        self.phys_rows += phys;
+        self.batches += u64::from(produced);
+        self.ctrl.op_next(self.node, rows, dt, produced);
+        result
+    }
+
+    // Forward the row-format path so tracing a query doesn't force
+    // column↔row conversions the untraced plan wouldn't pay. A row batch
+    // has no selection vector, so physical == logical rows.
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        let t0 = self.ctrl.op_now_ns();
+        let result = self.inner.next_rows();
         let dt = self.ctrl.op_now_ns().saturating_sub(t0);
         self.busy_ns += dt;
         let (rows, produced) = match &result {
@@ -259,6 +317,7 @@ impl RowSource for TracedSource {
             _ => (0, false),
         };
         self.rows += rows;
+        self.phys_rows += rows;
         self.batches += u64::from(produced);
         self.ctrl.op_next(self.node, rows, dt, produced);
         result
@@ -267,6 +326,13 @@ impl RowSource for TracedSource {
 
 impl Drop for TracedSource {
     fn drop(&mut self) {
+        if let Some(o) = self.ctrl.obs() {
+            if self.batches > 0 {
+                o.batch_batches.add(self.batches);
+                o.batch_rows.add(self.rows);
+                o.batch_phys_rows.add(self.phys_rows);
+            }
+        }
         self.ctrl.op_close(
             self.node,
             &self.label,
@@ -280,45 +346,82 @@ impl Drop for TracedSource {
     }
 }
 
-/// A pull-based batch stream.
+/// A pull-based columnar batch stream.
 pub trait RowSource: Send {
     /// The next batch, or `None` at end of stream.
-    fn next_batch(&mut self) -> IcResult<Option<Batch>>;
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>>;
+
+    /// The next batch in row format. Row-native sources (partition scans,
+    /// index merges) and row-internal operators (merge join, nested-loop
+    /// join, sort aggregate) override this so chains of row operators hand
+    /// rows across directly instead of round-tripping every batch through
+    /// columns; the default converts at the boundary. Consumers pick the
+    /// format they compute in, so a plan pays for at most one conversion
+    /// per format change, never one per operator edge.
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        Ok(self.next_batch()?.map(|b| b.to_rows()))
+    }
 }
 
 pub type BoxedSource = Box<dyn RowSource>;
 
-/// Drain a source into a vector.
+/// Drain a source into a row vector (the final client rowset shim).
 pub fn drain(mut src: BoxedSource) -> IcResult<Vec<Row>> {
     let mut out = Vec::new();
-    while let Some(b) = src.next_batch()? {
-        out.extend(b);
+    while let Some(mut b) = src.next_rows()? {
+        out.append(&mut b);
     }
     Ok(out)
 }
 
+/// Account for a row-format buffer against the query lease (the
+/// row-internal operators' edges; cells = rows × width).
+fn reserve_rows(ctrl: &ControlBlock, rows: &[Row]) -> IcResult<()> {
+    let cells = rows.first().map_or(0, |r| r.arity().max(1)) * rows.len();
+    ctrl.reserve(cells)
+}
+
 // ----------------------------------------------------------------- sources
 
-/// In-memory source (tests, Values).
+/// In-memory source (tests, Values): converts rows to columns at the
+/// boundary, one batch per `BATCH_SIZE` chunk.
 pub struct VecSource {
-    rows: std::vec::IntoIter<Row>,
+    rows: Vec<Row>,
+    pos: usize,
 }
 
 impl VecSource {
     pub fn new(rows: Vec<Row>) -> VecSource {
-        VecSource { rows: rows.into_iter() }
+        VecSource { rows, pos: 0 }
     }
 }
 
 impl RowSource for VecSource {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
-        let batch: Batch = self.rows.by_ref().take(BATCH_SIZE).collect();
-        Ok(if batch.is_empty() { None } else { Some(batch) })
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(self.rows.len());
+        let batch = ColumnBatch::from_rows(&self.rows[self.pos..end]);
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_SIZE).min(self.rows.len());
+        let out = self.rows[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(out))
     }
 }
 
 /// Scan over partition snapshots with §5.3.2 variant splitting: a splitter
-/// reads the whole partition but passes only every `n`-th tuple.
+/// reads the whole partition but passes only every `n`-th tuple. This is
+/// the storage-boundary shim: rows from the partition snapshot are packed
+/// into a [`ColumnBatch`] here and stay columnar downstream.
 pub struct ScanSource {
     partitions: Vec<Arc<Vec<Row>>>,
     part: usize,
@@ -340,11 +443,14 @@ impl ScanSource {
     }
 }
 
-impl RowSource for ScanSource {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+impl ScanSource {
+    /// Locate the next batch's rows (split + pushed-down predicate applied)
+    /// as `(partition, index)` pairs — the caller then packs them columnar
+    /// or clones them, so the dropped rows are never copied at all.
+    fn locate(&mut self) -> IcResult<Vec<(usize, usize)>> {
         self.ctrl.check()?;
-        let mut batch = Batch::with_capacity(BATCH_SIZE);
-        while batch.len() < BATCH_SIZE {
+        let mut picked = Vec::with_capacity(BATCH_SIZE);
+        while picked.len() < BATCH_SIZE {
             if self.part >= self.partitions.len() {
                 break;
             }
@@ -354,6 +460,7 @@ impl RowSource for ScanSource {
                 self.idx = 0;
                 continue;
             }
+            let at = (self.part, self.idx);
             let row = &rows[self.idx];
             self.idx += 1;
             let keep = match self.split {
@@ -370,10 +477,30 @@ impl RowSource for ScanSource {
                         continue;
                     }
                 }
-                batch.push(row.clone());
+                picked.push(at);
             }
         }
-        Ok(if batch.is_empty() { None } else { Some(batch) })
+        Ok(picked)
+    }
+}
+
+impl RowSource for ScanSource {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        let picked = self.locate()?;
+        if picked.is_empty() {
+            return Ok(None);
+        }
+        let refs: Vec<&Row> =
+            picked.iter().map(|&(p, i)| &self.partitions[p][i]).collect();
+        Ok(Some(ColumnBatch::from_row_refs(&refs)))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        let picked = self.locate()?;
+        if picked.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(picked.iter().map(|&(p, i)| self.partitions[p][i].clone()).collect()))
     }
 }
 
@@ -411,24 +538,23 @@ impl MergingIndexScan {
         MergingIndexScan { runs, key_cols, heap, split, counter: 0, ctrl }
     }
 
-    fn pop_min(&mut self) -> Option<Row> {
+    fn pop_min(&mut self) -> Option<(usize, usize)> {
         let Reverse((_, i)) = self.heap.pop()?;
         let (run, pos) = &mut self.runs[i];
-        let row = run[*pos].clone();
+        let at = (i, *pos);
         *pos += 1;
         if let Some(next) = run.get(*pos) {
             self.heap.push(Reverse((next.project(&self.key_cols), i)));
         }
-        Some(row)
+        Some(at)
     }
-}
 
-impl RowSource for MergingIndexScan {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    /// Locate the next batch's rows in merge order as `(run, index)` pairs.
+    fn locate(&mut self) -> IcResult<Vec<(usize, usize)>> {
         self.ctrl.check()?;
-        let mut batch = Batch::with_capacity(BATCH_SIZE);
-        while batch.len() < BATCH_SIZE {
-            let Some(row) = self.pop_min() else { break };
+        let mut picked = Vec::with_capacity(BATCH_SIZE);
+        while picked.len() < BATCH_SIZE {
+            let Some(at) = self.pop_min() else { break };
             let keep = match self.split {
                 Some((vid, n)) => {
                     let keep = self.counter % n == vid;
@@ -438,15 +564,37 @@ impl RowSource for MergingIndexScan {
                 None => true,
             };
             if keep {
-                batch.push(row);
+                picked.push(at);
             }
         }
-        Ok(if batch.is_empty() { None } else { Some(batch) })
+        Ok(picked)
+    }
+}
+
+impl RowSource for MergingIndexScan {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        let picked = self.locate()?;
+        if picked.is_empty() {
+            return Ok(None);
+        }
+        let refs: Vec<&Row> = picked.iter().map(|&(r, i)| &self.runs[r].0[i]).collect();
+        Ok(Some(ColumnBatch::from_row_refs(&refs)))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        let picked = self.locate()?;
+        if picked.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(picked.iter().map(|&(r, i)| self.runs[r].0[i].clone()).collect()))
     }
 }
 
 // ------------------------------------------------------------ row shapers
 
+/// Filter: vectorized predicate evaluation that never materializes — the
+/// surviving rows are expressed as a (composed) selection vector over the
+/// input batch's physical columns.
 pub struct FilterExec {
     pub input: BoxedSource,
     pub predicate: Expr,
@@ -460,33 +608,50 @@ impl FilterExec {
 }
 
 impl RowSource for FilterExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         loop {
             self.ctrl.check()?;
-            let Some(mut batch) = self.input.next_batch()? else { return Ok(None) };
-            // Compact passing rows to the front in place: no output
-            // allocation, surviving rows keep their order.
-            let mut keep = 0;
-            for i in 0..batch.len() {
-                if self.predicate.eval_filter(&batch[i])? {
-                    batch.swap(keep, i);
-                    keep += 1;
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            let sel = eval_filter_sel(&self.predicate, &batch)?;
+            if sel.len() == batch.num_rows() {
+                return Ok(Some(batch));
+            }
+            if !sel.is_empty() {
+                return Ok(Some(batch.select_logical(&sel)));
+            }
+        }
+    }
+
+    /// Row-format consumers (merge join, NLJ) get row-at-a-time filtering
+    /// over the input's row stream — the two paths agree by the
+    /// `eval_filter_sel` ≡ per-row `eval_filter` property (kernel_props).
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        loop {
+            self.ctrl.check()?;
+            let Some(rows) = self.input.next_rows()? else { return Ok(None) };
+            let mut out = Batch::with_capacity(rows.len());
+            for row in rows {
+                if self.predicate.eval_filter(&row)? {
+                    out.push(row);
                 }
             }
-            batch.truncate(keep);
-            if !batch.is_empty() {
-                return Ok(Some(batch));
+            if !out.is_empty() {
+                return Ok(Some(out));
             }
         }
     }
 }
 
+/// Projection: bare column references share the input column `Arc`s (and
+/// keep the selection vector untouched); computed expressions run through
+/// the vectorized evaluator one output column at a time.
 pub struct ProjectExec {
     pub input: BoxedSource,
     pub exprs: Vec<Expr>,
     pub ctrl: Arc<ControlBlock>,
     /// When every expression is a bare column reference, the column indices
-    /// — projection is then a datum move/clone with no evaluator dispatch.
+    /// — projection is then an `Arc` clone per column, no evaluator
+    /// dispatch and no data movement.
     cols: Option<Vec<usize>>,
 }
 
@@ -504,27 +669,34 @@ impl ProjectExec {
 }
 
 impl RowSource for ProjectExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         self.ctrl.check()?;
-        let Some(mut batch) = self.input.next_batch()? else { return Ok(None) };
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
         if let Some(cols) = &self.cols {
-            for row in &mut batch {
-                row.0 = cols.iter().map(|&c| row.0[c].clone()).collect();
-            }
-            return Ok(Some(batch));
+            return Ok(Some(batch.project_cols(cols)));
         }
-        for row in &mut batch {
-            let vals: Vec<Datum> =
-                self.exprs.iter().map(|e| e.eval(row)).collect::<IcResult<_>>()?;
-            row.0 = vals;
-        }
-        Ok(Some(batch))
+        let out: Vec<Arc<Column>> =
+            self.exprs.iter().map(|e| eval_expr(e, &batch)).collect::<IcResult<_>>()?;
+        Ok(Some(ColumnBatch::new(out, batch.num_rows())))
+    }
+
+    /// Bare-column projections stay in row format for row consumers;
+    /// computed expressions fall back to the vectorized evaluator and
+    /// convert at this edge.
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        let Some(cols) = self.cols.clone() else {
+            return Ok(self.next_batch()?.map(|b| b.to_rows()));
+        };
+        self.ctrl.check()?;
+        let Some(rows) = self.input.next_rows()? else { return Ok(None) };
+        Ok(Some(rows.iter().map(|r| r.project(&cols)).collect()))
     }
 }
 
 // ----------------------------------------------------------------- joins
 
-/// Shared join emission logic for one probe row against its matches.
+/// Shared join emission logic for one probe row against its matches
+/// (row-internal joins: nested-loop and merge).
 fn emit_matches(
     kind: JoinKind,
     left_row: &Row,
@@ -574,7 +746,8 @@ fn emit_matches(
 /// Nested-loop join: buffers the right side, streams the left. Output is
 /// produced in bounded batches — the loop state (left batch position,
 /// right position) persists across `next_batch` calls so a high-fan-out
-/// join never materializes more than one batch of output.
+/// join never materializes more than one batch of output. Row-internal:
+/// the arbitrary `on` predicate is evaluated per joined row.
 pub struct NestedLoopJoinExec {
     pub left: BoxedSource,
     pub right: BoxedSource,
@@ -582,7 +755,7 @@ pub struct NestedLoopJoinExec {
     pub on: Expr,
     pub right_arity: usize,
     right_rows: Option<Vec<Row>>,
-    current: Option<Batch>,
+    current: Option<Vec<Row>>,
     li: usize,
     ri: usize,
     matched: bool,
@@ -614,14 +787,14 @@ impl NestedLoopJoinExec {
     }
 }
 
-impl RowSource for NestedLoopJoinExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+impl NestedLoopJoinExec {
+    fn produce(&mut self) -> IcResult<Option<Batch>> {
         if self.right_rows.is_none() {
             let mut rows = Vec::new();
-            while let Some(b) = self.right.next_batch()? {
+            while let Some(mut b) = self.right.next_rows()? {
                 self.ctrl.check()?;
-                self.ctrl.reserve_batch(&b)?;
-                rows.extend(b);
+                reserve_rows(&self.ctrl, &b)?;
+                rows.append(&mut b);
             }
             self.right_rows = Some(rows);
         }
@@ -631,7 +804,7 @@ impl RowSource for NestedLoopJoinExec {
         let mut out = Batch::new();
         loop {
             if self.current.is_none() {
-                match self.left.next_batch()? {
+                match self.left.next_rows()? {
                     Some(b) => {
                         self.current = Some(b);
                         self.li = 0;
@@ -696,14 +869,28 @@ impl RowSource for NestedLoopJoinExec {
     }
 }
 
-/// Hash join (§5.1.2): builds on the right input, probes with the left.
+impl RowSource for NestedLoopJoinExec {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        Ok(self.produce()?.map(|b| ColumnBatch::from_rows(&b)))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        self.produce()
+    }
+}
+
+/// Hash join (§5.1.2): builds on the right input, probes with the left —
+/// fully columnar on both sides.
 ///
-/// The build side goes into a [`JoinHashTable`]: an open-addressing map
-/// from precomputed key hashes to chains of arena row indices. Neither side
-/// materializes per-row `Vec<Datum>` keys — build rows move into the arena
-/// whole, probes hash key columns in place and walk the chain in build
-/// order, so output order is identical to the former
-/// `HashMap<Vec<Datum>, Vec<Row>>` implementation.
+/// The build side goes into a [`ColJoinTable`]: batches are appended
+/// column-wise into a contiguous arena and chained by 64-bit key hash, so
+/// the build loop never clones a key datum. Probes hash the key columns
+/// vectorized, walk each chain with typed column-vs-column equality, and
+/// produce `(probe row, arena row)` index pairs; output is materialized by
+/// [`gather_join_output`] one column at a time (`NIL` pairs drive LEFT
+/// null-extension). SEMI/ANTI joins skip materialization entirely — the
+/// result is a selection over the probe batch. Chains preserve build
+/// insertion order, keeping output bit-identical to the row plane.
 pub struct HashJoinExec {
     pub left: BoxedSource,
     pub right: BoxedSource,
@@ -712,11 +899,11 @@ pub struct HashJoinExec {
     pub right_keys: Vec<usize>,
     pub residual: Expr,
     pub right_arity: usize,
-    table: Option<JoinHashTable>,
-    /// Probe batch being processed and the next row within it, so that
-    /// high-fan-out probes resume across bounded output batches.
-    current: Option<Batch>,
-    li: usize,
+    table: Option<ColJoinTable>,
+    /// Output batches for the probe batch being processed (pairs are
+    /// segmented at batch-size boundaries without splitting a probe row's
+    /// match run).
+    output: VecDeque<ColumnBatch>,
     /// Probe rows consumed so far; flushed to `exec.join.probe_rows` once
     /// on drop so the hot loop only bumps a local integer.
     probed: u64,
@@ -744,8 +931,7 @@ impl HashJoinExec {
             residual,
             right_arity,
             table: None,
-            current: None,
-            li: 0,
+            output: VecDeque::new(),
             probed: 0,
             ctrl,
         }
@@ -762,73 +948,146 @@ impl Drop for HashJoinExec {
     }
 }
 
+/// Push `pairs[start..]` through [`gather_join_output`] in batch-sized
+/// segments, cutting only at probe-row boundaries so one probe row's match
+/// run is never split across output batches.
+fn emit_pair_segments(
+    probe: &ColumnBatch,
+    pks: &[u32],
+    arena: &ColumnBatch,
+    bis: &[u32],
+    out: &mut VecDeque<ColumnBatch>,
+) {
+    let mut start = 0;
+    while start < pks.len() {
+        let mut end = (start + BATCH_SIZE).min(pks.len());
+        while end < pks.len() && pks[end] == pks[end - 1] {
+            end += 1;
+        }
+        out.push_back(gather_join_output(probe, &pks[start..end], arena, &bis[start..end]));
+        start = end;
+    }
+}
+
+/// Probe one batch against the build table, appending output batches.
+fn probe_batch(
+    table: &ColJoinTable,
+    kind: JoinKind,
+    left_keys: &[usize],
+    residual: Option<&Expr>,
+    batch: &ColumnBatch,
+    out: &mut VecDeque<ColumnBatch>,
+) -> IcResult<()> {
+    match (kind, residual) {
+        (JoinKind::Semi | JoinKind::Anti, None) => {
+            // Selection-only path: no output materialization at all.
+            let matched = table.probe_matched(batch, left_keys);
+            let want = kind == JoinKind::Semi;
+            let keep: Vec<u32> = matched
+                .iter()
+                .enumerate()
+                .filter_map(|(k, &m)| (m == want).then_some(k as u32))
+                .collect();
+            if !keep.is_empty() {
+                out.push_back(batch.select_logical(&keep));
+            }
+        }
+        (JoinKind::Inner | JoinKind::Left, None) => {
+            let (pks, bis) = table.probe_pairs(batch, left_keys, kind == JoinKind::Left);
+            emit_pair_segments(batch, &pks, table.arena(), &bis, out);
+        }
+        (_, Some(res)) => {
+            // Gather real pairs, run the residual vectorized over the
+            // joined batch, then regroup pass/fail per probe row.
+            let (pks, bis) = table.probe_pairs(batch, left_keys, false);
+            let joined = gather_join_output(batch, &pks, table.arena(), &bis);
+            let sel = eval_filter_sel(res, &joined)?;
+            let mut pass = vec![false; pks.len()];
+            for &j in &sel {
+                pass[j as usize] = true;
+            }
+            match kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    let mut out_pks = Vec::with_capacity(sel.len());
+                    let mut out_bis = Vec::with_capacity(sel.len());
+                    let mut i = 0;
+                    for k in 0..batch.num_rows() as u32 {
+                        let mut any = false;
+                        while i < pks.len() && pks[i] == k {
+                            if pass[i] {
+                                out_pks.push(k);
+                                out_bis.push(bis[i]);
+                                any = true;
+                            }
+                            i += 1;
+                        }
+                        if !any && kind == JoinKind::Left {
+                            out_pks.push(k);
+                            out_bis.push(NIL);
+                        }
+                    }
+                    emit_pair_segments(batch, &out_pks, table.arena(), &out_bis, out);
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let mut keep = Vec::new();
+                    let mut i = 0;
+                    for k in 0..batch.num_rows() as u32 {
+                        let mut any = false;
+                        while i < pks.len() && pks[i] == k {
+                            any |= pass[i];
+                            i += 1;
+                        }
+                        if any == (kind == JoinKind::Semi) {
+                            keep.push(k);
+                        }
+                    }
+                    if !keep.is_empty() {
+                        out.push_back(batch.select_logical(&keep));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 impl RowSource for HashJoinExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         if self.table.is_none() {
-            // Build phase: rows move into the table's arena unchanged; rows
+            // Build phase: batches append column-wise into the arena; rows
             // with NULL key columns are skipped (they never match).
-            let mut table = JoinHashTable::new(self.right_keys.clone());
+            let mut table = ColJoinTable::new(self.right_keys.clone(), self.right_arity);
             while let Some(b) = self.right.next_batch()? {
                 self.ctrl.check()?;
                 self.ctrl.reserve_batch(&b)?;
-                for row in b {
-                    if self.right_keys.iter().any(|&c| row.0[c].is_null()) {
-                        continue;
-                    }
-                    table.insert(row);
-                }
+                table.insert_batch(&b);
             }
+            table.finish_build();
             ic_common::obs::MetricsRegistry::global()
                 .counter("exec.join.build_rows")
                 .add(table.len() as u64);
             self.table = Some(table);
         }
-        let Some(table) = self.table.as_ref() else {
-            return Err(IcError::Internal("hash join: hash table missing after build phase".into()));
-        };
-        let residual = if self.residual.is_true_literal() {
-            None
-        } else {
-            Some(self.residual.clone())
-        };
-        let mut out = Batch::new();
+        let residual =
+            if self.residual.is_true_literal() { None } else { Some(self.residual.clone()) };
         loop {
             self.ctrl.check()?;
-            if self.current.is_none() {
-                match self.left.next_batch()? {
-                    Some(b) => {
-                        self.current = Some(b);
-                        self.li = 0;
-                    }
-                    None => return Ok(if out.is_empty() { None } else { Some(out) }),
-                }
+            if let Some(b) = self.output.pop_front() {
+                return Ok(Some(b));
             }
-            let Some(batch) = self.current.as_ref() else {
-                return Err(IcError::Internal("hash join: probe batch missing".into()));
+            let Some(batch) = self.left.next_batch()? else { return Ok(None) };
+            self.probed += batch.num_rows() as u64;
+            let Some(table) = self.table.as_ref() else {
+                return Err(IcError::Internal("hash join: hash table missing after build phase".into()));
             };
-            while self.li < batch.len() {
-                let left_row = &batch[self.li];
-                self.li += 1;
-                self.probed += 1;
-                emit_matches(
-                    self.kind,
-                    left_row,
-                    &mut table.probe(left_row, &self.left_keys),
-                    residual.as_ref(),
-                    self.right_arity,
-                    &mut out,
-                )?;
-                if out.len() >= BATCH_SIZE {
-                    return Ok(Some(out));
-                }
-            }
-            self.current = None;
+            probe_batch(table, self.kind, &self.left_keys, residual.as_ref(), &batch, &mut self.output)?;
         }
     }
 }
 
 /// Merge join: inputs sorted on the keys; buffers both sides and merges
-/// key groups.
+/// key groups. Row-internal (the key-group walk is inherently sequential);
+/// batches convert at the buffering edge.
 pub struct MergeJoinExec {
     pub left: BoxedSource,
     pub right: BoxedSource,
@@ -839,7 +1098,9 @@ pub struct MergeJoinExec {
     pub right_arity: usize,
     pub ctrl: Arc<ControlBlock>,
     done: bool,
-    output: std::collections::VecDeque<Batch>,
+    /// Merged output buffered in row format; conversion happens only if the
+    /// consumer pulls batches.
+    output: VecDeque<Batch>,
 }
 
 impl MergeJoinExec {
@@ -870,16 +1131,16 @@ impl MergeJoinExec {
 
     fn run_merge(&mut self) -> IcResult<()> {
         let mut lrows = Vec::new();
-        while let Some(b) = self.left.next_batch()? {
+        while let Some(mut b) = self.left.next_rows()? {
             self.ctrl.check()?;
-            self.ctrl.reserve_batch(&b)?;
-            lrows.extend(b);
+            reserve_rows(&self.ctrl, &b)?;
+            lrows.append(&mut b);
         }
         let mut rrows = Vec::new();
-        while let Some(b) = self.right.next_batch()? {
+        while let Some(mut b) = self.right.next_rows()? {
             self.ctrl.check()?;
-            self.ctrl.reserve_batch(&b)?;
-            rrows.extend(b);
+            reserve_rows(&self.ctrl, &b)?;
+            rrows.append(&mut b);
         }
         let lkey = |r: &Row| r.project(&self.left_keys);
         let rkey = |r: &Row| r.project(&self.right_keys);
@@ -914,7 +1175,7 @@ impl MergeJoinExec {
                 &mut out,
             )?;
             if out.len() >= BATCH_SIZE {
-                self.ctrl.reserve_batch(&out)?;
+                reserve_rows(&self.ctrl, &out)?;
                 self.output.push_back(std::mem::take(&mut out));
             }
             i += 1;
@@ -927,7 +1188,11 @@ impl MergeJoinExec {
 }
 
 impl RowSource for MergeJoinExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        Ok(self.next_rows()?.map(|b| ColumnBatch::from_rows(&b)))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
         if !self.done {
             self.run_merge()?;
             self.done = true;
@@ -938,15 +1203,16 @@ impl RowSource for MergeJoinExec {
 
 // ------------------------------------------------------------- aggregates
 
-/// Hash aggregate in any phase (§3.2's map-reduce split).
+/// Hash aggregate in any phase (§3.2's map-reduce split) — columnar build.
 ///
-/// Groups live in a [`GroupTable`]: key datums are cloned exactly once (at
-/// first sight of each group) into a flat key array, accumulators sit in a
-/// parallel flat array indexed by group slot, and input rows update them
-/// through an in-place key hash — no per-row `Vec<Datum>` materialization.
-/// Output is emitted lazily in batch-sized chunks, one per `next_batch`
-/// call, so buffered state stays at the (already reserved) group table
-/// instead of doubling into an output queue.
+/// Groups live in a [`ColGroupTable`]: each input batch is resolved to
+/// group slots in one vectorized-hash pass (key datums are cloned exactly
+/// once, at first sight of each group), then each aggregate folds its
+/// argument column in one typed loop that skips validity-masked rows. The
+/// Final phase merges accumulator states row-wise (state rows are short and
+/// heterogeneous). Output is emitted lazily in batch-sized chunks, one per
+/// `next_batch` call, so buffered state stays at the (already reserved)
+/// group table instead of doubling into an output queue.
 pub struct HashAggExec {
     pub input: BoxedSource,
     pub group: Vec<usize>,
@@ -954,7 +1220,7 @@ pub struct HashAggExec {
     pub phase: AggPhase,
     pub ctrl: Arc<ControlBlock>,
     done: bool,
-    groups: Option<GroupTable>,
+    groups: Option<ColGroupTable>,
     emit_pos: usize,
 }
 
@@ -978,15 +1244,39 @@ impl HashAggExec {
     }
 
     fn build(&mut self) -> IcResult<()> {
-        let mut groups = GroupTable::new(self.group.clone(), self.aggs.len());
-        // update_group borrows self immutably, so split the phase-specific
-        // row application out of the &mut loop below.
+        let mut groups = ColGroupTable::new(self.group.clone(), self.aggs.len());
+        let mut slots: Vec<u32> = Vec::new();
         while let Some(batch) = self.input.next_batch()? {
             self.ctrl.check()?;
             let before = groups.len();
-            for row in &batch {
-                let slot = groups.lookup_or_insert(row, &self.aggs);
-                apply_row(self.phase, &self.group, &self.aggs, groups.accs_mut(slot), row)?;
+            groups.slots_for_batch(&batch, &self.aggs, &mut slots);
+            match self.phase {
+                AggPhase::Complete | AggPhase::Partial => {
+                    for (j, call) in self.aggs.iter().enumerate() {
+                        match &call.arg {
+                            // Physical input columns fold directly through
+                            // the batch's selection vector.
+                            Some(Expr::Col(c)) => {
+                                groups.accumulate(j, batch.col(*c), batch.selection(), &slots)?;
+                            }
+                            // Computed arguments evaluate vectorized into a
+                            // logically dense column first.
+                            Some(e) => {
+                                let col = eval_expr(e, &batch)?;
+                                groups.accumulate(j, &col, None, &slots)?;
+                            }
+                            None => groups.accumulate_count_star(j, &slots)?,
+                        }
+                    }
+                }
+                AggPhase::Final => {
+                    // State rows are short (group keys + a few state
+                    // datums); merge them row-wise.
+                    for (k, &slot) in slots.iter().enumerate() {
+                        let row = batch.row_at(k);
+                        apply_row(self.phase, &self.group, &self.aggs, groups.accs_mut(slot as usize), &row)?;
+                    }
+                }
             }
             let width = self.group.len() + self.aggs.len() * 2 + 1;
             self.ctrl.reserve((groups.len() - before) * width)?;
@@ -1004,7 +1294,7 @@ impl HashAggExec {
 }
 
 impl RowSource for HashAggExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         if !self.done {
             self.build()?;
             self.done = true;
@@ -1023,7 +1313,7 @@ impl RowSource for HashAggExec {
             finish_group_row(self.phase, key, accs, &mut out);
         }
         self.emit_pos = end;
-        Ok(Some(out))
+        Ok(Some(ColumnBatch::from_rows(&out)))
     }
 }
 
@@ -1079,6 +1369,7 @@ fn finish_group_row(phase: AggPhase, key: Vec<Datum>, accs: &[Accumulator], out:
 
 /// Streaming aggregate over input sorted on the group keys (the paper's
 /// "sort-based aggregation on an already sorted input", §6.2.1 / Q14).
+/// Row-internal: group boundaries are detected row by row.
 pub struct SortAggExec {
     inner: HashAggExec,
     current_key: Option<Vec<Datum>>,
@@ -1105,17 +1396,17 @@ impl SortAggExec {
     }
 }
 
-impl RowSource for SortAggExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+impl SortAggExec {
+    fn produce(&mut self) -> IcResult<Option<Batch>> {
         if self.exhausted {
             return Ok(self.pending.take());
         }
         let mut out = Batch::new();
         loop {
             self.inner.ctrl.check()?;
-            match self.inner.input.next_batch()? {
-                Some(batch) => {
-                    for row in batch {
+            match self.inner.input.next_rows()? {
+                Some(rows) => {
+                    for row in rows {
                         let key: Vec<Datum> =
                             self.inner.group.iter().map(|&c| row.0[c].clone()).collect();
                         if self.current_key.as_ref() != Some(&key) {
@@ -1156,14 +1447,29 @@ impl RowSource for SortAggExec {
     }
 }
 
+impl RowSource for SortAggExec {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        Ok(self.produce()?.map(|b| ColumnBatch::from_rows(&b)))
+    }
+
+    fn next_rows(&mut self) -> IcResult<Option<Batch>> {
+        self.produce()
+    }
+}
+
 // ------------------------------------------------------- sort/limit/values
 
+/// Sort: concatenates input batches column-wise into one dense batch,
+/// computes a sort permutation over the key columns (typed `cmp_at`
+/// comparisons, no key decoration buffer), and emits batch-sized selection
+/// views over the dense batch — output batches share the sorted data via
+/// `Arc`, nothing is re-materialized.
 pub struct SortExec {
     pub input: BoxedSource,
     pub keys: Vec<SortKey>,
     pub ctrl: Arc<ControlBlock>,
     done: bool,
-    output: std::collections::VecDeque<Batch>,
+    output: VecDeque<ColumnBatch>,
 }
 
 impl SortExec {
@@ -1173,43 +1479,28 @@ impl SortExec {
 }
 
 impl RowSource for SortExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         if !self.done {
-            let mut rows = Vec::new();
+            let mut builders: Option<Vec<ColumnBuilder>> = None;
+            let mut total = 0usize;
             while let Some(b) = self.input.next_batch()? {
                 self.ctrl.check()?;
                 self.ctrl.reserve_batch(&b)?;
-                rows.extend(b);
-            }
-            // Decorate–sort–undecorate: extract the key datums once into a
-            // flat buffer, sort an index array over it (no comparator
-            // closure touching full rows), then move rows out in key order.
-            // The original-index tie-break makes the unstable sort produce
-            // exactly the stable order the previous `sort_by` did.
-            let keys = &self.keys;
-            let klen = keys.len();
-            let mut keybuf: Vec<Datum> = Vec::with_capacity(rows.len() * klen);
-            for row in &rows {
-                keybuf.extend(keys.iter().map(|k| row.0[k.col].clone()));
-            }
-            let mut order: Vec<u32> = (0..rows.len() as u32).collect();
-            order.sort_unstable_by(|&a, &b| {
-                let (a, b) = (a as usize, b as usize);
-                for (i, k) in keys.iter().enumerate() {
-                    let ord = keybuf[a * klen + i].cmp(&keybuf[b * klen + i]);
-                    let ord = if k.desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
+                let bs = builders
+                    .get_or_insert_with(|| (0..b.width()).map(|_| ColumnBuilder::new()).collect());
+                for (bld, col) in bs.iter_mut().zip(b.columns()) {
+                    bld.append_column(col, b.selection());
                 }
-                a.cmp(&b)
-            });
-            for chunk in order.chunks(BATCH_SIZE) {
-                let batch: Batch = chunk
-                    .iter()
-                    .map(|&i| std::mem::take(&mut rows[i as usize]))
-                    .collect();
-                self.output.push_back(batch);
+                total += b.num_rows();
+            }
+            if let Some(bs) = builders {
+                let cols: Vec<Arc<Column>> =
+                    bs.into_iter().map(|b| Arc::new(b.finish())).collect();
+                let dense = ColumnBatch::new(cols, total);
+                let order = crate::kernels::sort_permutation(&dense, &self.keys);
+                for chunk in order.chunks(BATCH_SIZE) {
+                    self.output.push_back(dense.with_sel(chunk.to_vec()));
+                }
             }
             self.done = true;
         }
@@ -1217,6 +1508,7 @@ impl RowSource for SortExec {
     }
 }
 
+/// Limit/offset: pure slicing of the logical row range — no data movement.
 pub struct LimitExec {
     pub input: BoxedSource,
     pub fetch: Option<u64>,
@@ -1233,7 +1525,7 @@ impl LimitExec {
 }
 
 impl RowSource for LimitExec {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         loop {
             self.ctrl.check()?;
             if let Some(f) = self.fetch {
@@ -1242,23 +1534,18 @@ impl RowSource for LimitExec {
                 }
             }
             let Some(batch) = self.input.next_batch()? else { return Ok(None) };
-            let mut out = Batch::new();
-            for row in batch {
-                if self.skipped < self.offset {
-                    self.skipped += 1;
-                    continue;
-                }
-                if let Some(f) = self.fetch {
-                    if self.emitted >= f {
-                        break;
-                    }
-                }
-                self.emitted += 1;
-                out.push(row);
+            let n = batch.num_rows() as u64;
+            let skip = (self.offset - self.skipped).min(n);
+            self.skipped += skip;
+            let mut take = n - skip;
+            if let Some(f) = self.fetch {
+                take = take.min(f - self.emitted);
             }
-            if !out.is_empty() {
-                return Ok(Some(out));
+            if take == 0 {
+                continue;
             }
+            self.emitted += take;
+            return Ok(Some(batch.slice_logical(skip as usize, take as usize)));
         }
     }
 }
@@ -1519,5 +1806,34 @@ mod tests {
         c.cancel();
         let mut s = ScanSource::new(vec![Arc::new(rows(&[&[1]]))], None, c);
         assert!(s.next_batch().is_err());
+    }
+
+    #[test]
+    fn filter_composes_selection_without_materializing() {
+        // Two stacked filters: the surviving rows must still be a selection
+        // view over the original physical columns.
+        let f1 = FilterExec::new(
+            src(&[&[1], &[2], &[3], &[4], &[5], &[6]]),
+            Expr::binary(ic_common::BinOp::Gt, Expr::col(0), Expr::lit(1i64)),
+            ctrl(),
+        );
+        let mut f2 = FilterExec::new(
+            Box::new(f1),
+            Expr::binary(ic_common::BinOp::Lt, Expr::col(0), Expr::lit(6i64)),
+            ctrl(),
+        );
+        let b = f2.next_batch().unwrap().unwrap();
+        assert_eq!(b.num_rows(), 4);
+        assert_eq!(b.phys_rows(), 6, "filter must shrink the selection, not copy columns");
+        assert_eq!(b.to_rows(), rows(&[&[2], &[3], &[4], &[5]]));
+    }
+
+    #[test]
+    fn limit_slices_across_batches() {
+        let many: Vec<Row> = (0..3000i64).map(|i| Row(vec![Datum::Int(i)])).collect();
+        let l = LimitExec::new(Box::new(VecSource::new(many)), Some(10), 1500, ctrl());
+        let out = drain(Box::new(l)).unwrap();
+        let vals: Vec<i64> = out.iter().map(|r| r.0[0].as_int().unwrap()).collect();
+        assert_eq!(vals, (1500..1510).collect::<Vec<i64>>());
     }
 }

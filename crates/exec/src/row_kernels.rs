@@ -1,0 +1,307 @@
+//! Row-oriented execution kernels — the pre-columnar data plane, kept as
+//! the A/B baseline for `ic-bench --bin kernels` (`row_vs_column` section
+//! of `BENCH_kernels.json`) and as the reference implementation the
+//! columnar kernels in [`crate::kernels`] are property-tested against.
+//! The operators themselves now run on [`ic_common::ColumnBatch`].
+//!
+//! Both kernels are built on `ic_common::hash::FlatMap`, an open-addressing
+//! table from precomputed 64-bit key hashes to `u32` indices. Key datums are
+//! cloned exactly once — when a key is first inserted — and never per probe
+//! row: probes hash the key columns in place (`Row::hash_key` allocates
+//! nothing) and resolve collisions by comparing datums behind the index.
+//!
+//! [`JoinHashTable`] keeps build rows in a contiguous arena in arrival
+//! order; rows sharing a key are linked through a `next`-index chain whose
+//! head is the first arrival, so probing yields matches in build order —
+//! bit-identical output to the previous `HashMap<Vec<Datum>, Vec<Row>>`
+//! implementation. [`GroupTable`] stores group keys flattened into one
+//! `Vec<Datum>` and accumulators flattened into one `Vec<Accumulator>`,
+//! indexed by group slot.
+
+use ic_common::agg::Accumulator;
+use ic_common::hash::FlatMap;
+use ic_common::{Datum, Row};
+use ic_plan::ops::AggCall;
+
+const NIL: u32 = u32::MAX;
+
+/// Hash table for the build side of a hash join.
+pub struct JoinHashTable {
+    map: FlatMap,
+    key_cols: Vec<usize>,
+    /// Build rows in insertion order.
+    arena: Vec<Row>,
+    /// Per-arena-row link to the next row with the same key (NIL ends the
+    /// chain). Chains start at the first-inserted row of the key.
+    next: Vec<u32>,
+    /// Per-chain-head index of the chain's current last row, so appending
+    /// preserves insertion order at O(1).
+    tail: Vec<u32>,
+}
+
+impl JoinHashTable {
+    pub fn new(key_cols: Vec<usize>) -> JoinHashTable {
+        JoinHashTable {
+            map: FlatMap::with_capacity(1024),
+            key_cols,
+            arena: Vec::new(),
+            next: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Insert one build row. Rows with a NULL in any key column are skipped
+    /// by the caller (NULL keys never match in SQL equi-joins).
+    #[inline]
+    pub fn insert(&mut self, row: Row) {
+        let hash = row.hash_key(&self.key_cols);
+        let new_idx = self.arena.len() as u32;
+        let (head, inserted) = {
+            let arena = &self.arena;
+            let key_cols = &self.key_cols;
+            self.map.get_or_insert(
+                hash,
+                |p| {
+                    let existing = &arena[p as usize];
+                    key_cols.iter().all(|&c| existing.0[c] == row.0[c])
+                },
+                || new_idx,
+            )
+        };
+        self.arena.push(row);
+        self.next.push(NIL);
+        self.tail.push(new_idx);
+        if !inserted {
+            let old_tail = self.tail[head as usize] as usize;
+            self.next[old_tail] = new_idx;
+            self.tail[head as usize] = new_idx;
+        }
+    }
+
+    /// All build rows matching `probe`'s key columns, in build insertion
+    /// order. NULL probe keys match nothing.
+    #[inline]
+    pub fn probe<'t>(&'t self, probe: &Row, probe_keys: &[usize]) -> MatchIter<'t> {
+        if probe_keys.iter().any(|&c| probe.0[c].is_null()) {
+            return MatchIter { table: self, cursor: NIL };
+        }
+        let hash = probe.hash_key(probe_keys);
+        let head = self.map.get(hash, |p| {
+            let build = &self.arena[p as usize];
+            self.key_cols
+                .iter()
+                .zip(probe_keys)
+                .all(|(&bc, &pc)| build.0[bc] == probe.0[pc])
+        });
+        MatchIter { table: self, cursor: head.unwrap_or(NIL) }
+    }
+}
+
+/// Iterator over one key's chain of build rows.
+pub struct MatchIter<'t> {
+    table: &'t JoinHashTable,
+    cursor: u32,
+}
+
+impl<'t> Iterator for MatchIter<'t> {
+    type Item = &'t Row;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'t Row> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let idx = self.cursor as usize;
+        self.cursor = self.table.next[idx];
+        Some(&self.table.arena[idx])
+    }
+}
+
+/// Grouped accumulator storage for hash aggregation: group keys and
+/// accumulators live in flat arrays indexed by group slot; the key datums
+/// are materialized once per distinct group.
+pub struct GroupTable {
+    map: FlatMap,
+    group_cols: Vec<usize>,
+    naggs: usize,
+    ngroups: usize,
+    /// Flattened keys: group `g` owns `keys[g*klen .. (g+1)*klen]`.
+    keys: Vec<Datum>,
+    /// Flattened accumulators: group `g` owns `accs[g*naggs .. (g+1)*naggs]`.
+    accs: Vec<Accumulator>,
+}
+
+impl GroupTable {
+    pub fn new(group_cols: Vec<usize>, naggs: usize) -> GroupTable {
+        GroupTable {
+            // Start small: grouped aggregation often has a handful of
+            // groups (TPC-H Q1 has 8) and a small table stays L1-resident;
+            // FlatMap grows as groups appear.
+            map: FlatMap::with_capacity(64),
+            group_cols,
+            naggs,
+            ngroups: 0,
+            keys: Vec::new(),
+            accs: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ngroups
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ngroups == 0
+    }
+
+    /// Find `row`'s group, creating it (with fresh accumulators from
+    /// `aggs`) on first sight. Returns the group slot.
+    #[inline]
+    pub fn lookup_or_insert(&mut self, row: &Row, aggs: &[AggCall]) -> usize {
+        let klen = self.group_cols.len();
+        if klen == 0 {
+            // Scalar aggregation: one implicit group.
+            if self.accs.is_empty() {
+                self.accs.extend(aggs.iter().map(|a| Accumulator::new(a.func)));
+                self.ngroups = 1;
+            }
+            return 0;
+        }
+        let hash = row.hash_key(&self.group_cols);
+        let new_slot = self.ngroups as u32;
+        let (slot, inserted) = {
+            let keys = &self.keys;
+            let group_cols = &self.group_cols;
+            self.map.get_or_insert(
+                hash,
+                |p| {
+                    let base = p as usize * klen;
+                    group_cols
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &c)| keys[base + i] == row.0[c])
+                },
+                || new_slot,
+            )
+        };
+        if inserted {
+            self.keys.extend(self.group_cols.iter().map(|&c| row.0[c].clone()));
+            self.accs.extend(aggs.iter().map(|a| Accumulator::new(a.func)));
+            self.ngroups += 1;
+        }
+        slot as usize
+    }
+
+    /// Mutable view of one group's accumulators.
+    #[inline]
+    pub fn accs_mut(&mut self, slot: usize) -> &mut [Accumulator] {
+        let base = slot * self.naggs;
+        &mut self.accs[base..base + self.naggs]
+    }
+
+    /// Ensure the implicit scalar group exists (empty-input `SELECT
+    /// count(*)` still emits one row).
+    pub fn ensure_scalar_group(&mut self, aggs: &[AggCall]) {
+        debug_assert!(self.group_cols.is_empty());
+        if self.accs.is_empty() {
+            self.accs.extend(aggs.iter().map(|a| Accumulator::new(a.func)));
+            self.ngroups = 1;
+        }
+    }
+
+    /// Move group `slot`'s key out (leaves NULLs behind) and borrow its
+    /// accumulators; used once per group during output emission.
+    pub fn take_group(&mut self, slot: usize) -> (Vec<Datum>, &[Accumulator]) {
+        let klen = self.group_cols.len();
+        let base = slot * klen;
+        let key: Vec<Datum> = self.keys[base..base + klen]
+            .iter_mut()
+            .map(|d| std::mem::replace(d, Datum::Null))
+            .collect();
+        let abase = slot * self.naggs;
+        (key, &self.accs[abase..abase + self.naggs])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::agg::AggFunc;
+    use ic_common::Expr;
+
+    fn row(vals: &[i64]) -> Row {
+        Row(vals.iter().map(|&v| Datum::Int(v)).collect())
+    }
+
+    #[test]
+    fn join_table_chains_preserve_insertion_order() {
+        let mut t = JoinHashTable::new(vec![0]);
+        t.insert(row(&[7, 1]));
+        t.insert(row(&[8, 2]));
+        t.insert(row(&[7, 3]));
+        t.insert(row(&[7, 4]));
+        let probe = row(&[7]);
+        let seconds: Vec<i64> =
+            t.probe(&probe, &[0]).map(|r| r.0[1].as_int().unwrap()).collect();
+        assert_eq!(seconds, vec![1, 3, 4]);
+        assert_eq!(t.probe(&row(&[9]), &[0]).count(), 0);
+    }
+
+    #[test]
+    fn join_table_null_probe_matches_nothing() {
+        let mut t = JoinHashTable::new(vec![0]);
+        t.insert(row(&[1, 10]));
+        let null_probe = Row(vec![Datum::Null]);
+        assert_eq!(t.probe(&null_probe, &[0]).count(), 0);
+    }
+
+    #[test]
+    fn join_table_many_keys() {
+        let mut t = JoinHashTable::new(vec![0]);
+        for i in 0..5_000i64 {
+            t.insert(row(&[i % 1000, i]));
+        }
+        assert_eq!(t.len(), 5_000);
+        for k in 0..1000i64 {
+            assert_eq!(t.probe(&row(&[k]), &[0]).count(), 5);
+        }
+    }
+
+    #[test]
+    fn group_table_accumulates_per_key() {
+        let aggs =
+            vec![AggCall { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() }];
+        let mut g = GroupTable::new(vec![0], 1);
+        for (k, v) in [(1, 10), (2, 5), (1, 20)] {
+            let slot = g.lookup_or_insert(&row(&[k, v]), &aggs);
+            g.accs_mut(slot)[0].update(Datum::Int(v)).unwrap();
+        }
+        assert_eq!(g.len(), 2);
+        let (key, accs) = g.take_group(0);
+        assert_eq!(key, vec![Datum::Int(1)]);
+        assert_eq!(accs[0].finish(), Datum::Int(30));
+        let (key, accs) = g.take_group(1);
+        assert_eq!(key, vec![Datum::Int(2)]);
+        assert_eq!(accs[0].finish(), Datum::Int(5));
+    }
+
+    #[test]
+    fn group_table_scalar_group() {
+        let aggs = vec![AggCall { func: AggFunc::CountStar, arg: None, name: "c".into() }];
+        let mut g = GroupTable::new(vec![], 1);
+        assert_eq!(g.len(), 0);
+        g.ensure_scalar_group(&aggs);
+        assert_eq!(g.len(), 1);
+        let (key, accs) = g.take_group(0);
+        assert!(key.is_empty());
+        assert_eq!(accs[0].finish(), Datum::Int(0));
+    }
+}

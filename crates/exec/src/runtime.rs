@@ -8,7 +8,8 @@ use crate::fragment::{fragment_plan, ExchangeId, ExchangeRegistry, Sink};
 use crate::operators::*;
 use crate::variant::{plan_variants, SourceMode, VariantPlan};
 use ic_common::obs::{AttemptStats, SpanId, Trace};
-use ic_common::{Batch, IcError, IcResult, Row};
+use ic_common::row::BATCH_SIZE;
+use ic_common::{ColumnBatch, IcError, IcResult, Row};
 use ic_net::{
     net_channel, AbortFn, Assignment, FailoverError, NetError, NetObs, NetReceiver, NetSender,
     Network, SiteId, SiteState, WireSize,
@@ -78,9 +79,12 @@ pub struct QueryStats {
     pub peak_buffered_rows: u64,
 }
 
-/// A message on an exchange link.
+/// A message on an exchange link. Batches cross the wire in the
+/// column-contiguous framing (`ic_net::wire::encode_columns`), whose exact
+/// size [`WireSize`] reports — selection vectors are resolved by the frame,
+/// so only selected rows are charged to `net.transfer.bytes`.
 pub enum Msg {
-    Batch(Batch),
+    Batch(ColumnBatch),
     Eof,
 }
 
@@ -206,9 +210,16 @@ struct ExchangeSender {
     mode: SourceMode,
     rr: usize,
     /// Persistent per-site staging for hash distribution: a handful of
-    /// (site, rows) slots scanned linearly, instead of building a fresh
-    /// `HashMap<SiteId, Batch>` per batch.
-    hash_slots: Vec<(SiteId, Batch)>,
+    /// (site, logical row indices) slots scanned linearly, instead of
+    /// building a fresh `HashMap<SiteId, _>` per batch. Each site's rows
+    /// ship as a selection view over the batch — no row materialization.
+    hash_slots: Vec<(SiteId, Vec<u32>)>,
+    /// Sub-batch-size outputs (selective filters, sparse join matches)
+    /// coalesce here before shipping — the simulated network charges
+    /// latency per message, so many tiny batches would otherwise multiply
+    /// the wire cost regardless of payload size.
+    pending: Vec<ColumnBatch>,
+    pending_rows: usize,
 }
 
 impl ExchangeSender {
@@ -230,7 +241,7 @@ impl ExchangeSender {
     /// Ship one batch to a site, honoring the consumer's splitter/
     /// duplicator mode (batch-level round-robin realizes the splitter's
     /// arbitrary disjoint partitioning).
-    fn ship_to_site(&mut self, site: SiteId, batch: Batch) -> IcResult<()> {
+    fn ship_to_site(&mut self, site: SiteId, batch: ColumnBatch) -> IcResult<()> {
         let eps = self.endpoints_at(site);
         if eps.is_empty() {
             return Err(IcError::Exec(format!("no exchange endpoint at {site}")));
@@ -253,10 +264,31 @@ impl ExchangeSender {
         Ok(())
     }
 
-    fn send_batch(&mut self, batch: Batch) -> IcResult<()> {
-        if batch.is_empty() {
+    fn send_batch(&mut self, batch: ColumnBatch) -> IcResult<()> {
+        if batch.num_rows() == 0 {
             return Ok(());
         }
+        self.pending_rows += batch.num_rows();
+        self.pending.push(batch);
+        if self.pending_rows >= BATCH_SIZE {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ship everything staged in `pending` as one dense batch. Called when
+    /// a batch-size's worth of rows has accumulated and once at stream end.
+    fn flush(&mut self) -> IcResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = ColumnBatch::concat(&self.pending);
+        self.pending.clear();
+        self.pending_rows = 0;
+        self.dispatch(batch)
+    }
+
+    fn dispatch(&mut self, batch: ColumnBatch) -> IcResult<()> {
         match &self.to {
             Distribution::Single => {
                 let site = self.endpoints[0].0;
@@ -275,11 +307,14 @@ impl ExchangeSender {
                 Ok(())
             }
             Distribution::Hash(keys) => {
-                for row in batch {
-                    let site = self.assignment.site_for_hash(row.hash_key(keys));
+                // Vectorized key hashing, then one selection view per
+                // destination site (bit-identical to `Row::hash_key`).
+                let hashes = batch.hash_keys(keys);
+                for (k, &hash) in hashes.iter().enumerate().take(batch.num_rows()) {
+                    let site = self.assignment.site_for_hash(hash);
                     match self.hash_slots.iter_mut().find(|(s, _)| *s == site) {
-                        Some((_, rows)) => rows.push(row),
-                        None => self.hash_slots.push((site, vec![row])),
+                        Some((_, keep)) => keep.push(k as u32),
+                        None => self.hash_slots.push((site, vec![k as u32])),
                     }
                 }
                 for i in 0..self.hash_slots.len() {
@@ -287,8 +322,8 @@ impl ExchangeSender {
                         continue;
                     }
                     let site = self.hash_slots[i].0;
-                    let rows = std::mem::take(&mut self.hash_slots[i].1);
-                    self.ship_to_site(site, rows)?;
+                    let keep = std::mem::take(&mut self.hash_slots[i].1);
+                    self.ship_to_site(site, batch.select_logical(&keep))?;
                 }
                 Ok(())
             }
@@ -322,7 +357,7 @@ struct ReceiverSource {
 }
 
 impl RowSource for ReceiverSource {
-    fn next_batch(&mut self) -> IcResult<Option<Batch>> {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
         loop {
             self.ctrl.check()?;
             if self.remaining_eofs == 0 {
@@ -697,6 +732,8 @@ pub fn execute_plan(
                     mode: consumer_mode,
                     rr: 0,
                     hash_slots: Vec::new(),
+                    pending: Vec::new(),
+                    pending_rows: 0,
                 };
                 let root = fragment.root.clone();
                 let catalog = catalog.clone();
@@ -750,7 +787,7 @@ pub fn execute_plan(
                         while let Some(batch) = src.next_batch()? {
                             sender.send_batch(batch)?;
                         }
-                        Ok(())
+                        sender.flush()
                     };
                     match run() {
                         Ok(()) => sender.finish(),

@@ -9,6 +9,7 @@
 //! | L005 | no cycles in the cross-crate lock-acquisition-order graph |
 //! | L006 | buffering operators in `ic-exec` grow buffers only through the `MemoryLease` protocol (no private `buffered_rows`/`buffered_cells` counters) |
 //! | L007 | traced code paths (`ic_common::obs`, `ic-exec` operators) read time only via `Trace::now_ns`, never `Instant::now`/`SystemTime` |
+//! | L008 | no per-row `Datum` materialization in `ic_exec::kernels` hot loops — kernels stay typed per-column loops; row shims live at operator boundaries |
 //!
 //! Any rule except L005 can be suppressed per-site with a pragma that must
 //! carry a justification:
@@ -22,7 +23,8 @@
 
 use crate::tokenizer::{strip_test_regions, tokenize, Comment, Tok, TokKind};
 
-pub const RULES: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+pub const RULES: [&str; 8] =
+    ["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -115,6 +117,7 @@ fn in_scope(rule: &str, ctx: &FileCtx, path: &str) -> bool {
                 && path.replace('\\', "/").contains("src/obs/"))
                 || (ctx.is_src && krate == "exec" && ctx.file == "operators.rs")
         }
+        "L008" => ctx.is_src && krate == "exec" && ctx.file == "kernels.rs",
         _ => false,
     }
 }
@@ -222,6 +225,9 @@ pub fn lint_files(files: &[FileInput]) -> Report {
         }
         if in_scope("L007", &ctx, &f.path) {
             findings.extend(rule_l007(&toks));
+        }
+        if in_scope("L008", &ctx, &f.path) {
+            findings.extend(rule_l008(&toks));
         }
         if in_scope("L005", &ctx, &f.path) {
             lock_edges.extend(crate::lockgraph::extract_edges(&f.path, &toks));
@@ -445,6 +451,35 @@ fn rule_l007(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
     out
 }
 
+/// L008: per-row `Datum` materialization in the columnar kernels. The whole
+/// point of `ic_exec::kernels` is that its inner loops are typed per-column
+/// sweeps; a stray `datum_at`/`to_rows` call re-boxes every value into an
+/// enum and quietly reverts the loop to row-at-a-time cost. Row shims belong
+/// in the operators (scan boundary, final rowset), not here. The few
+/// legitimate per-group (not per-row) materializations carry pragmas.
+fn rule_l008(toks: &[Tok]) -> Vec<(&'static str, u32, String)> {
+    const BANNED: [&str; 6] =
+        ["datum_at", "row_at", "to_rows", "from_rows", "push_datum", "eval_datum"];
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && BANNED.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            out.push((
+                "L008",
+                t.line,
+                format!(
+                    "per-row `{}` in a kernel hot loop boxes a Datum per row; keep kernels \
+                     as typed per-column loops (row shims live in the operators)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +587,25 @@ mod tests {
             .violations
             .iter()
             .all(|v| v.rule != "L007"));
+    }
+
+    #[test]
+    fn l008_flags_per_row_datums_in_kernels_only() {
+        let src = "fn f(b: &ColumnBatch) { let d = b.col(0).datum_at(i); let rs = b.to_rows(); }";
+        let r = lint_one("crates/exec/src/kernels.rs", src);
+        assert_eq!(r.violations.iter().filter(|v| v.rule == "L008").count(), 2);
+        // A justified pragma suppresses, keeping the why.
+        let ok = "// ic-lint: allow(L008) because group keys materialize once per group\n\
+                  fn f(b: &ColumnBatch) { keys.push(b.col(0).datum_at(i)); }";
+        let r = lint_one("crates/exec/src/kernels.rs", ok);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.suppressed.len(), 1);
+        // Row shims in the operators (and everywhere else) are fine.
+        assert!(lint_one("crates/exec/src/operators.rs", src).violations.is_empty());
+        assert!(lint_one("crates/exec/tests/kernel_props.rs", src).violations.is_empty());
+        // A bare ident without a call (doc text, field name) does not fire.
+        let bare = "struct S { to_rows: u32 }";
+        assert!(lint_one("crates/exec/src/kernels.rs", bare).violations.is_empty());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! L008 fixture: a "columnar" kernel whose inner loop re-boxes every value
+//! into a `Datum` — the row-at-a-time regression the rule exists to keep
+//! out of `ic_exec::kernels`.
+
+pub fn sum_column(batch: &ColumnBatch, col: usize) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..batch.num_rows() {
+        // Per-row enum boxing: allocates/clones a Datum for every value.
+        if let Datum::Double(v) = batch.col(col).datum_at(batch.phys_index(k)) {
+            acc += v;
+        }
+    }
+    acc
+}
+
+pub fn spill(batch: &ColumnBatch) -> Vec<Row> {
+    // Whole-batch row materialization inside a kernel.
+    batch.to_rows()
+}
+
+pub fn rebuild(rows: &[Row]) -> ColumnBatch {
+    // ic-lint: allow(L008) because the fixture demonstrates pragma suppression
+    ColumnBatch::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt: assertions may compare via rows.
+    #[test]
+    fn rows_visible_in_tests() {
+        let rows = batch.to_rows();
+        assert_eq!(rows.len(), batch.num_rows());
+    }
+}

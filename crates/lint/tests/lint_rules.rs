@@ -95,6 +95,17 @@ fn fixture_l007_wallclock_fails() {
 }
 
 #[test]
+fn fixture_l008_per_row_datum_fails() {
+    let r = lint_as("crates/exec/src/kernels.rs", "l008_datum.rs");
+    let hits: Vec<_> = r.violations.iter().filter(|v| v.rule == "L008").collect();
+    // `datum_at` + `to_rows` fire; the pragma-covered `from_rows` is
+    // suppressed and the #[cfg(test)] `to_rows` is exempt.
+    assert_eq!(hits.len(), 2, "{:?}", r.violations);
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    assert!(r.suppressed[0].justification.contains("fixture"));
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_pass() {
     // The same sources are fine where the rules don't apply.
     for (path, fixture_name) in [
@@ -106,6 +117,8 @@ fn fixtures_out_of_scope_paths_pass() {
         ("crates/exec/tests/fixture.rs", "l006_buffer.rs"),
         ("crates/common/src/lease.rs", "l007_wallclock.rs"),
         ("crates/common/tests/fixture.rs", "l007_wallclock.rs"),
+        ("crates/exec/src/operators.rs", "l008_datum.rs"),
+        ("crates/exec/tests/fixture.rs", "l008_datum.rs"),
     ] {
         let r = lint_as(path, fixture_name);
         assert!(
