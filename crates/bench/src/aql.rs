@@ -62,6 +62,7 @@ pub fn run_aql(cluster: &Arc<Cluster>, config: &AqlConfig) -> AqlResult {
     let mut all = Vec::new();
     let mut failed = 0;
     for h in handles {
+        // ic-lint: allow(L001) because a panicking worker thread should abort the bench run loudly rather than skew the latency sample
         let (lat, f) = h.join().expect("terminal thread");
         all.extend(lat);
         failed += f;

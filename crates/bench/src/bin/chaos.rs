@@ -83,6 +83,7 @@ fn main() {
                     println!("Q{q:02}: ok ({note}, wall {wall:?})");
                 }
             }
+            // ic-lint: allow(L009) because the loop iterates distinct benchmark queries; the retry vocabulary reports Cluster-internal retry counts, it does not re-attempt the failed query
             Err(e) => {
                 failed += 1;
                 println!("Q{q:02}: FAILED under faults: {e}");

@@ -398,6 +398,7 @@ fn to_batches(rows: &[Row]) -> Vec<ColumnBatch> {
 }
 
 /// Checksum helper: sum an Int column over a batch's logical rows.
+// ic-lint: allow(L010) because the checksum helper validity-gates every read; the microbenchmark measures exactly this hand-rolled loop
 fn sum_int_col(batch: &ColumnBatch, c: usize) -> u64 {
     let col = batch.col(c);
     let mut sum = 0u64;
@@ -574,6 +575,7 @@ fn bench_rvc_join_probe(n: usize, reps: usize) -> Outcome {
 /// decorates a flat key buffer and rebuilds the row vector in sorted
 /// order; the columnar side computes a permutation over the key columns
 /// and applies it as a selection view — the 12 payload columns never move.
+// ic-lint: allow(L010) because the row-vs-column sort benchmark hand-rolls both loops on purpose; keys are generated non-null
 fn bench_rvc_sort(n: usize, reps: usize) -> Outcome {
     let nkeys = (n / 4).max(1) as i64;
     let mut rng = StdRng::seed_from_u64(11);

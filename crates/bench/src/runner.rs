@@ -100,6 +100,7 @@ pub fn sweep_tpch(
         for &sites in sites_list {
             eprintln!("# loading TPC-H sf={sf} sites={sites}");
             let base = cluster_for(sites, variants[0]);
+            // ic-lint: allow(L001) because the TPC-H generator is deterministic; a load failure is a harness bug worth a loud abort
             load_tpch(&base, sf, 42).expect("load TPC-H");
             for &variant in variants {
                 let cluster = base.with_variant(variant);
@@ -137,10 +138,12 @@ pub fn sweep_ssb(
         for &sites in sites_list {
             eprintln!("# loading SSB sf={sf} sites={sites}");
             let base = cluster_for(sites, variants[0]);
+            // ic-lint: allow(L001) because the SSB generator is deterministic; a load failure is a harness bug worth a loud abort
             load_ssb(&base, sf, 42).expect("load SSB");
             for &variant in variants {
                 let cluster = base.with_variant(variant);
                 for (qi, id) in query_ids.iter().enumerate() {
+                    // ic-lint: allow(L001) because the query id list is the compile-time SSB catalogue; an unknown id is a harness bug
                     let sql = ic_benchdata::ssb::query(id).expect("known SSB query");
                     let (outcome, _, queue_wait) = measure_query_waits(&cluster, sql, reps);
                     eprintln!(

@@ -100,6 +100,7 @@ impl Accumulator {
     /// Feed one input value. `count_star` accumulators receive a non-null
     /// placeholder from the executor.
     #[inline]
+    // ic-lint: allow(L012) because format! runs only in the terminal type-mismatch error arms, never on the per-element happy path
     pub fn update(&mut self, value: Datum) -> IcResult<()> {
         match self {
             Accumulator::Count(c) => {

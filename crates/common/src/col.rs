@@ -177,6 +177,7 @@ impl Column {
     /// String value at physical row `i`; only meaningful for
     /// [`ColumnData::Str`] columns with a valid row.
     #[inline]
+    // ic-lint: allow(L001) because offsets/bytes are only ever written by push_str, which stores validated UTF-8
     pub fn str_at(&self, i: usize) -> &str {
         match &self.data {
             ColumnData::Str { offsets, bytes } => {
@@ -560,6 +561,7 @@ impl ColumnBuilder {
         Column { data, validity: if self.has_null { Some(self.validity) } else { None } }
     }
 
+    // ic-lint: allow(L012) because this runs once per column at the first typed append, not per element
     fn init_from(&mut self, like: &ColumnData) {
         debug_assert!(self.data.is_none());
         let n = self.validity.len();
@@ -575,6 +577,7 @@ impl ColumnBuilder {
         });
     }
 
+    // ic-lint: allow(L012) because allocation happens only on the None->typed transition, once per column
     fn ensure_kind(&mut self, kind: Kind) {
         match &self.data {
             None => {
@@ -605,6 +608,7 @@ impl ColumnBuilder {
     }
 
     /// Re-materialize the current values as boxed datums (mixed-type column).
+    // ic-lint: allow(L012) because degrading to Any is a one-time fallback when a column first sees mixed types
     fn degrade_to_any(&mut self) {
         let n = self.validity.len();
         let old = Column {

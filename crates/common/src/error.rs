@@ -143,13 +143,34 @@ impl IcError {
     /// True when the *client* may usefully resubmit the query: the failure
     /// was transient (a dead site, admission-control shedding, or a revoked
     /// memory lease) rather than a property of the query itself.
+    ///
+    /// Every variant is classified explicitly — no wildcard arm — so adding
+    /// a variant is a compile-time (and L009 lint-time) forcing function to
+    /// decide whether the new failure is transient or terminal. A wildcard
+    /// here once silently classified a new transient variant as terminal,
+    /// which the failover loop then surfaced to clients as a hard error.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
+        match self {
+            // Transient: the cluster state that failed the query can change
+            // without the query changing.
             IcError::SiteUnavailable { .. }
-                | IcError::Overloaded { .. }
-                | IcError::ResourcesRevoked { .. }
-        )
+            | IcError::Overloaded { .. }
+            | IcError::ResourcesRevoked { .. } => true,
+            // Terminal: properties of the query text, the plan space, or
+            // the configured limits — resubmitting the same query hits the
+            // same wall.
+            IcError::Parse(_)
+            | IcError::Bind(_)
+            | IcError::Plan(_)
+            | IcError::PlannerBudgetExceeded { .. }
+            | IcError::Unsupported(_)
+            | IcError::Exec(_)
+            | IcError::ExecTimeout { .. }
+            | IcError::MemoryLimit { .. }
+            | IcError::Catalog(_)
+            | IcError::RetriesExhausted { .. }
+            | IcError::Internal(_) => false,
+        }
     }
 
     /// True when the coordinator's *internal* failover loop should replan
@@ -158,8 +179,28 @@ impl IcError {
     /// ([`ResourcesRevoked`](IcError::ResourcesRevoked)) queries must exit
     /// the cluster immediately — retrying them in-process would hold their
     /// admission slot and defeat the governor's back-pressure.
+    ///
+    /// Exhaustive for the same reason as [`is_retryable`](Self::is_retryable):
+    /// the failover loop in `Cluster::query` loops exactly on this predicate,
+    /// so a misclassified variant either spins on a terminal error or gives
+    /// up on a recoverable one.
     pub fn is_failover_retryable(&self) -> bool {
-        matches!(self, IcError::SiteUnavailable { .. })
+        match self {
+            IcError::SiteUnavailable { .. } => true,
+            // Shed/revoked: retryable by the client, not in-process.
+            IcError::Overloaded { .. } | IcError::ResourcesRevoked { .. } => false,
+            IcError::Parse(_)
+            | IcError::Bind(_)
+            | IcError::Plan(_)
+            | IcError::PlannerBudgetExceeded { .. }
+            | IcError::Unsupported(_)
+            | IcError::Exec(_)
+            | IcError::ExecTimeout { .. }
+            | IcError::MemoryLimit { .. }
+            | IcError::Catalog(_)
+            | IcError::RetriesExhausted { .. }
+            | IcError::Internal(_) => false,
+        }
     }
 }
 

@@ -203,6 +203,7 @@ impl FlatMap {
         }
     }
 
+    // ic-lint: allow(L012) because rehash allocation is amortized doubling: it runs once per capacity doubling, not per insert
     fn grow(&mut self) {
         let new_slots = (self.mask + 1) * 2;
         let old =

@@ -791,6 +791,7 @@ pub fn execute_plan(
                     };
                     match run() {
                         Ok(()) => sender.finish(),
+                        // ic-lint: allow(L009) because the enclosing loop spawns one worker per fragment lane; this arm records the first error and cancels the query, it never re-runs the failed work
                         Err(e) => {
                             // A worker that merely observed cancellation is
                             // teardown noise: the real cause lives elsewhere

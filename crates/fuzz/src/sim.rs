@@ -189,11 +189,14 @@ impl Env {
                 ),
             };
             for stmt in ddl.iter().chain(index_ddl) {
+                // ic-lint: allow(L001) because the embedded bench DDL is a compile-time constant; failure is a fixture bug, not a runtime condition
                 cluster.run(stmt).expect("bench DDL must load");
             }
             for t in data {
+                // ic-lint: allow(L001) because the generated bench rows are deterministic for a fixed seed; failure is a fixture bug
                 cluster.insert(t.name, t.rows).expect("bench data must load");
             }
+            // ic-lint: allow(L001) because analyze over freshly loaded constant tables cannot fail unless the fixture itself is broken
             cluster.analyze_all().expect("analyze must succeed");
             Arc::new(cluster)
         };

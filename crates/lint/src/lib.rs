@@ -1,15 +1,23 @@
 //! `ic-lint` — workspace invariant checker.
 //!
-//! A std-only tokenizer plus a small rule engine enforcing the project
-//! invariants L001–L005 (see [`rules`] for the catalogue and pragma
-//! syntax). The crate deliberately has zero dependencies so it builds
-//! before — and independently of — everything it checks.
+//! A std-only tokenizer, item-level parser, workspace symbol table and
+//! cross-crate call graph, with a rule engine enforcing the project
+//! invariants L001–L012 (see [`rules`] for the catalogue and pragma
+//! syntax, and LINTS.md for the rationale of each rule). The crate
+//! deliberately has zero dependencies so it builds before — and
+//! independently of — everything it checks.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lockgraph;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod tokenizer;
 
-pub use rules::{lint_files, FileInput, Report, Violation};
+pub use rules::{
+    lint_files, lint_files_with, FileInput, LintOptions, ObsDoc, Report, Violation,
+};
 
 use std::path::{Path, PathBuf};
 
@@ -42,7 +50,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             .replace('\\', "/");
         inputs.push(FileInput { path: rel, source: std::fs::read_to_string(&f)? });
     }
-    Ok(lint_files(&inputs))
+
+    // The observability-name registry (L011). A workspace scan sees every
+    // emission site, so the reverse direction (documented-but-never-emitted)
+    // is checked too.
+    let mut opts = LintOptions::default();
+    let obs_path = root.join("OBSERVABILITY.md");
+    if obs_path.is_file() {
+        let content = std::fs::read_to_string(&obs_path)?;
+        opts.obs_doc = Some(ObsDoc::parse("OBSERVABILITY.md", &content));
+        opts.check_obs_unused = true;
+    }
+    Ok(lint_files_with(&inputs, &opts))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

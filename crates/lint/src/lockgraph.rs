@@ -11,6 +11,21 @@
 //!
 //! This is deliberately intra-procedural — the dynamic detector in the
 //! vendored `parking_lot` shim covers cross-function nesting at test time.
+//!
+//! Named closures are the one place the lexical model needs help: in
+//!
+//! ```text
+//! let job = || self.registry.lock();   // deferred — acquires nothing yet
+//! let j = self.journal.lock();
+//! run_under_lock(job);                 // registry acquired HERE, under journal
+//! ```
+//!
+//! the acquisition happens at the call/pass site, not the definition. The
+//! scanner therefore collects each named closure's acquisitions in a
+//! pre-pass, skips the closure body during the main walk (so definition-time
+//! held sets are not misattributed — which used to fabricate edges in the
+//! *wrong direction*), and replays the closure's locks against the held set
+//! at every later use of the closure's name.
 
 use crate::tokenizer::{Tok, TokKind};
 
@@ -84,6 +99,127 @@ pub fn extract_edges(path: &str, toks: &[Tok]) -> Vec<LockEdge> {
     edges
 }
 
+/// A named closure defined in the current function body, with the locks its
+/// body acquires. Uses of `name` after `def_end` replay those acquisitions
+/// against the then-current held set.
+#[derive(Debug)]
+struct DeferredClosure {
+    name: String,
+    locks: Vec<String>,
+    /// Token range of the whole `let name = |..| body` initializer; the
+    /// main scan skips `[body_start, def_end)`.
+    body_start: usize,
+    def_end: usize,
+}
+
+/// Find the index just past the `}` closing the brace opened at `open`.
+fn brace_end(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Collect `let name = [move] |..| body` closures in `[open, end)` together
+/// with the lock receiver names their bodies acquire.
+fn collect_deferred_closures(toks: &[Tok], open: usize, end: usize) -> Vec<DeferredClosure> {
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < end {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut k = i + 1;
+        if toks.get(k).is_some_and(|x| x.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name) = toks.get(k).filter(|x| x.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if !toks.get(k + 1).is_some_and(|x| x.is_punct('=')) {
+            i += 1;
+            continue;
+        }
+        let mut j = k + 2;
+        if toks.get(j).is_some_and(|x| x.is_ident("move")) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|x| x.is_punct('|')) {
+            i += 1;
+            continue;
+        }
+        // Find the closing `|` of the parameter list (params contain no `|`).
+        let mut close = j + 1;
+        while close < end && !toks[close].is_punct('|') {
+            close += 1;
+        }
+        let body_start = close + 1;
+        let def_end = if toks.get(body_start).is_some_and(|x| x.is_punct('{')) {
+            brace_end(toks, body_start)
+        } else {
+            // Expression body: runs to the `;` at group depth 0.
+            let mut bal = 0i32;
+            let mut m = body_start;
+            while m < end {
+                if toks[m].kind == TokKind::Punct {
+                    match toks[m].text.as_str() {
+                        "(" | "[" | "{" => bal += 1,
+                        ")" | "]" | "}" => bal -= 1,
+                        ";" if bal == 0 => break,
+                        _ => {}
+                    }
+                }
+                m += 1;
+            }
+            m
+        };
+        let mut locks = Vec::new();
+        let mut m = body_start;
+        while m < def_end {
+            let t = &toks[m];
+            if (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+                && m > 0
+                && toks[m - 1].is_punct('.')
+                && toks.get(m + 1).is_some_and(|x| x.is_punct('('))
+                && toks.get(m + 2).is_some_and(|x| x.is_punct(')'))
+            {
+                if let Some(lock) = receiver_name(toks, m - 1) {
+                    if !locks.contains(&lock) {
+                        locks.push(lock);
+                    }
+                }
+            }
+            m += 1;
+        }
+        if !locks.is_empty() {
+            out.push(DeferredClosure {
+                name: name.text.clone(),
+                locks,
+                body_start,
+                def_end,
+            });
+        }
+        i = def_end.max(i + 1);
+    }
+    out
+}
+
 /// Scan one `{ ... }` function body starting at the opening brace; returns
 /// the index just past the closing brace.
 fn scan_function_body(
@@ -93,12 +229,20 @@ fn scan_function_body(
     open: usize,
     edges: &mut Vec<LockEdge>,
 ) -> usize {
+    let body_end = brace_end(toks, open);
+    let closures = collect_deferred_closures(toks, open, body_end);
     let mut depth = 0usize;
     let mut held: Vec<Held> = Vec::new();
     // Pending `let` binding name, waiting to see if the initializer acquires.
     let mut pending_let: Option<String> = None;
     let mut i = open;
     while i < toks.len() {
+        // Deferred closure bodies acquire nothing at definition time.
+        if let Some(c) = closures.iter().find(|c| c.body_start == i) {
+            pending_let = None;
+            i = c.def_end;
+            continue;
+        }
         let t = &toks[i];
         match t.kind {
             TokKind::Punct => match t.text.as_str() {
@@ -118,6 +262,33 @@ fn scan_function_body(
                 _ => {}
             },
             TokKind::Ident => {
+                // A later use of a deferred closure's name — direct call or
+                // passed to a runner helper — executes its body here, under
+                // whatever locks are now held.
+                if let Some(c) = closures
+                    .iter()
+                    .find(|c| c.name == t.text && i >= c.def_end)
+                {
+                    let dropped = i >= 2
+                        && toks[i - 1].is_punct('(')
+                        && toks[i - 2].is_ident("drop");
+                    let method_call = i > 0 && toks[i - 1].is_punct('.');
+                    if !dropped && !method_call {
+                        for h in &held {
+                            for lock in &c.locks {
+                                if &h.lock != lock {
+                                    edges.push(LockEdge {
+                                        from: h.lock.clone(),
+                                        to: lock.clone(),
+                                        path: path.to_string(),
+                                        line: t.line,
+                                        func: func.to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
                 if t.text == "let" {
                     // `let [mut] name`
                     let mut k = i + 1;
@@ -324,6 +495,52 @@ mod tests {
         assert_eq!(cycles.len(), 1);
         assert!(cycles[0].message.contains("alpha"));
         assert!(cycles[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn deferred_closure_attributed_to_call_site() {
+        // The closure acquires `beta` only when `run(job)` executes — by
+        // then `alpha` is held, so the edge is alpha -> beta.
+        let src = "fn f(&self) { let job = || { self.beta.lock(); };\n\
+                   let a = self.alpha.lock(); run(job); }";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert_eq!(e[0].from, "alpha");
+        assert_eq!(e[0].to, "beta");
+    }
+
+    #[test]
+    fn deferred_closure_definition_acquires_nothing() {
+        // Before the fix, the definition-time scan fabricated the reverse
+        // edge beta -> alpha (the closure body was treated as executing at
+        // the `let`), masking real inversions. Unused closures contribute
+        // no edges at all.
+        let src = "fn f(&self) { let job = || self.beta.lock();\n\
+                   let a = self.alpha.lock(); }";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn closure_inversion_is_a_cycle() {
+        let src = "
+            fn direct(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }
+            fn deferred(&self) {
+                let job = move || { self.beta.lock(); };
+                let a = self.alpha.lock();
+                pool_run(job);
+            }
+        ";
+        let cycles = find_cycles(&edges_of(src));
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert!(cycles[0].message.contains("alpha"));
+        assert!(cycles[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn dropped_closure_does_not_replay() {
+        let src = "fn f(&self) { let job = || { self.beta.lock(); };\n\
+                   let a = self.alpha.lock(); drop(job); }";
+        assert!(edges_of(src).is_empty());
     }
 
     #[test]

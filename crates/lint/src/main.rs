@@ -1,19 +1,31 @@
 //! `ic-lint` CLI.
 //!
 //! ```text
-//! ic-lint [--deny-all] [--verbose] [--root DIR] [files...]
+//! ic-lint [--deny-all] [--verbose] [--format text|json] [--root DIR] [files...]
 //! ```
 //!
 //! With no file arguments, lints the whole workspace (found via
 //! `--root`, `CARGO_MANIFEST_DIR/../..`, or the current directory).
 //! Exits 1 if any unsuppressed violation is found.
+//!
+//! `--format json` emits one JSON object (`violations`, `suppressed`,
+//! `files_scanned`) on stdout for tooling; the default text format is
+//! `path:line: RULE message`, matched by the GitHub Actions problem
+//! matcher in `.github/ic-lint-problem-matcher.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut format = Format::Text;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -21,6 +33,17 @@ fn main() -> ExitCode {
             // --deny-all is the default (and only) mode; accepted for CI clarity.
             "--deny-all" => {}
             "--verbose" | "-v" => verbose = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "ic-lint: --format requires 'text' or 'json' (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => {
@@ -29,7 +52,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: ic-lint [--deny-all] [--verbose] [--root DIR] [files...]");
+                println!(
+                    "usage: ic-lint [--deny-all] [--verbose] [--format text|json] [--root DIR] [files...]"
+                );
                 println!("rules: {}", ic_lint::rules::RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
@@ -70,16 +95,18 @@ fn main() -> ExitCode {
         ic_lint::lint_files(&inputs)
     };
 
-    for v in &report.violations {
-        println!("{v}");
-    }
-    if verbose {
-        for s in &report.suppressed {
-            println!(
-                "note: {} suppressed ({})",
-                s.violation, s.justification
-            );
+    match format {
+        Format::Text => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if verbose {
+                for s in &report.suppressed {
+                    println!("note: {} suppressed ({})", s.violation, s.justification);
+                }
+            }
         }
+        Format::Json => print!("{}", render_json(&report)),
     }
     eprintln!(
         "ic-lint: {} file(s), {} violation(s), {} suppressed",
@@ -92,4 +119,50 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Hand-rolled JSON rendering — the crate is std-only by design.
+fn render_json(report: &ic_lint::Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn violation(v: &ic_lint::Violation) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            v.rule,
+            esc(&v.path),
+            v.line,
+            esc(&v.message)
+        )
+    }
+    let violations: Vec<String> = report.violations.iter().map(violation).collect();
+    let suppressed: Vec<String> = report
+        .suppressed
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"violation\":{},\"justification\":\"{}\"}}",
+                violation(&s.violation),
+                esc(&s.justification)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"files_scanned\":{},\"violations\":[{}],\"suppressed\":[{}]}}\n",
+        report.files_scanned,
+        violations.join(","),
+        suppressed.join(",")
+    )
 }

@@ -1,0 +1,149 @@
+//! Workspace-wide symbol table: every `fn` item across every scanned file,
+//! addressable by bare name and by `Type::name`. This is what lets the
+//! call-graph resolve cross-crate calls without rustc.
+
+use crate::parser::ParsedFile;
+use std::collections::HashMap;
+
+/// One function symbol. `file`/`fn_idx` index back into the parsed files.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    pub krate: String,
+    pub path: String,
+    pub file: usize,
+    pub fn_idx: usize,
+    pub name: String,
+    pub impl_type: Option<String>,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    pub fns: Vec<FnSym>,
+    /// Bare fn name → symbol ids (free fns and methods alike).
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// (`impl`/`trait` type, fn name) → symbol ids.
+    pub by_qual: HashMap<(String, String), Vec<usize>>,
+}
+
+/// Crate name from a workspace-relative path: `crates/net/src/wire.rs` →
+/// `net`; files under the root `src/` report `root`.
+pub fn krate_of(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    let mut parts = norm.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("root").to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+impl SymbolTable {
+    pub fn build(files: &[ParsedFile]) -> SymbolTable {
+        let refs: Vec<&ParsedFile> = files.iter().collect();
+        Self::build_refs(&refs)
+    }
+
+    /// Same as [`SymbolTable::build`], over borrowed files (the engine owns
+    /// its parsed files inside larger per-file entries).
+    pub fn build_refs(files: &[&ParsedFile]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (fi, file) in files.iter().enumerate() {
+            let krate = krate_of(&file.path);
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id = t.fns.len();
+                t.fns.push(FnSym {
+                    krate: krate.clone(),
+                    path: file.path.clone(),
+                    file: fi,
+                    fn_idx: gi,
+                    name: f.name.clone(),
+                    impl_type: f.impl_type.clone(),
+                    line: f.line,
+                });
+                t.by_name.entry(f.name.clone()).or_default().push(id);
+                if let Some(ty) = &f.impl_type {
+                    t.by_qual.entry((ty.clone(), f.name.clone())).or_default().push(id);
+                }
+            }
+        }
+        t
+    }
+
+    /// Resolve `Type::name` — unique match or nothing.
+    pub fn resolve_qualified(&self, ty: &str, name: &str) -> Option<usize> {
+        match self.by_qual.get(&(ty.to_string(), name.to_string())) {
+            Some(ids) if ids.len() == 1 => Some(ids[0]),
+            _ => None,
+        }
+    }
+
+    /// Resolve a bare call `name(...)`: prefer a unique free fn; fall back
+    /// to a unique symbol of any kind (covers `use Type::assoc` imports).
+    pub fn resolve_free(&self, name: &str) -> Option<usize> {
+        let ids = self.by_name.get(name)?;
+        let free: Vec<usize> =
+            ids.iter().copied().filter(|&i| self.fns[i].impl_type.is_none()).collect();
+        match free.len() {
+            1 => Some(free[0]),
+            0 if ids.len() == 1 => Some(ids[0]),
+            _ => None,
+        }
+    }
+
+    /// Resolve a method call `recv.name(...)`: only when the name is unique
+    /// among methods workspace-wide (a documented approximation — without
+    /// types we cannot disambiguate overloaded method names). Names that
+    /// collide with std prelude/iterator/collection methods never resolve:
+    /// `.any(..)` in a kernel is almost always `Iterator::any`, and a false
+    /// edge to some workspace fn that happens to share the name would
+    /// poison every reachability set built on the graph.
+    pub fn resolve_method(&self, name: &str) -> Option<usize> {
+        const STD_METHODS: [&str; 40] = [
+            "any", "all", "map", "filter", "fold", "find", "position", "count", "sum",
+            "product", "min", "max", "rev", "zip", "chain", "take", "skip", "next", "len",
+            "is_empty", "get", "push", "pop", "insert", "remove", "contains", "clear",
+            "extend", "drain", "iter", "clone", "cmp", "eq", "hash", "fmt", "default",
+            "as_ref", "as_str", "to_string", "into_iter",
+        ];
+        if STD_METHODS.contains(&name) {
+            return None;
+        }
+        let ids = self.by_name.get(name)?;
+        let methods: Vec<usize> =
+            ids.iter().copied().filter(|&i| self.fns[i].impl_type.is_some()).collect();
+        match methods.len() {
+            1 => Some(methods[0]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn builds_and_resolves() {
+        let a = parse_file(
+            "crates/exec/src/kernels.rs",
+            "pub fn gather(x: u32) {} impl ColJoinTable { pub fn probe(&self) {} }",
+        );
+        let b = parse_file(
+            "crates/common/src/col.rs",
+            "impl ColumnBatch { pub fn gather(&self) {} pub fn phys_index(&self) {} }",
+        );
+        let t = SymbolTable::build(&[a, b]);
+        assert_eq!(t.fns.len(), 4);
+        // `gather` has a free fn and a method: free resolution wins.
+        let id = t.resolve_free("gather").unwrap();
+        assert!(t.fns[id].impl_type.is_none());
+        assert!(t.resolve_qualified("ColJoinTable", "probe").is_some());
+        // Unique-among-methods names resolve (the free `gather` does not
+        // make the method ambiguous — only other methods would).
+        assert!(t.resolve_method("phys_index").is_some());
+        assert!(t.resolve_method("gather").is_some());
+        assert_eq!(krate_of("crates/net/src/wire.rs"), "net");
+        assert_eq!(krate_of("src/main.rs"), "root");
+    }
+}

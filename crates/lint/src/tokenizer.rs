@@ -13,12 +13,21 @@ pub enum TokKind {
     Lit,
 }
 
-/// One significant token with its 1-based source line.
+/// One significant token with its 1-based source line and half-open char
+/// span `[pos, end)` into the source (char offsets, not bytes — the parser's
+/// span arithmetic and the round-trip property test both work in chars).
+///
+/// `text` carries the identifier or punctuation character; for string
+/// literals it carries the *inner* text (without quotes/prefix/hashes) so
+/// registry rules like L011 can match metric-name literals. Char and numeric
+/// literals keep an empty `text`.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
+    pub pos: u32,
+    pub end: u32,
 }
 
 impl Tok {
@@ -87,14 +96,30 @@ pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             }
             '"' => {
                 let j = scan_string(&bytes, i);
+                let start_line = line;
                 line += count_lines(&bytes[i..j]);
-                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                let inner: String =
+                    bytes[i + 1..j.saturating_sub(1).max(i + 1)].iter().collect();
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: inner,
+                    line: start_line,
+                    pos: i as u32,
+                    end: j as u32,
+                });
                 i = j;
             }
             'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
                 let j = scan_raw_or_byte_string(&bytes, i);
+                let start_line = line;
                 line += count_lines(&bytes[i..j]);
-                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: raw_string_inner(&bytes, i, j),
+                    line: start_line,
+                    pos: i as u32,
+                    end: j as u32,
+                });
                 i = j;
             }
             '\'' => {
@@ -107,11 +132,23 @@ pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     }
                     if j < n && bytes[j] == '\'' {
                         // 'a' — a char literal.
-                        toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                        toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: String::new(),
+                            line,
+                            pos: i as u32,
+                            end: (j + 1) as u32,
+                        });
                         i = j + 1;
                     } else {
                         // 'a — a lifetime; emit as punct so patterns skip it.
-                        toks.push(Tok { kind: TokKind::Punct, text: "'".into(), line });
+                        toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: "'".into(),
+                            line,
+                            pos: i as u32,
+                            end: j as u32,
+                        });
                         i = j;
                     }
                 } else {
@@ -123,8 +160,15 @@ pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         }
                         j += 1;
                     }
-                    toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
-                    i = (j + 1).min(n);
+                    let e = (j + 1).min(n);
+                    toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                        pos: i as u32,
+                        end: e as u32,
+                    });
+                    i = e;
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -133,7 +177,13 @@ pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     j += 1;
                 }
                 let text: String = bytes[i..j].iter().collect();
-                toks.push(Tok { kind: TokKind::Ident, text, line });
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    pos: i as u32,
+                    end: j as u32,
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -154,11 +204,23 @@ pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         break;
                     }
                 }
-                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line });
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                    pos: i as u32,
+                    end: j as u32,
+                });
                 i = j;
             }
             other => {
-                toks.push(Tok { kind: TokKind::Punct, text: other.to_string(), line });
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: other.to_string(),
+                    line,
+                    pos: i as u32,
+                    end: (i + 1) as u32,
+                });
                 i += 1;
             }
         }
@@ -177,6 +239,28 @@ fn scan_string(bytes: &[char], start: usize) -> usize {
         }
     }
     n
+}
+
+/// Inner text of a raw/byte string literal spanning `[i, j)`: strip the
+/// `b`/`r` prefix, the `#` fencing, and the quotes.
+fn raw_string_inner(bytes: &[char], i: usize, j: usize) -> String {
+    let mut s = i;
+    if s < j && (bytes[s] == 'b' || bytes[s] == 'r') {
+        s += 1;
+    }
+    if s < j && bytes[s] == 'r' {
+        s += 1;
+    }
+    let mut hashes = 0usize;
+    while s < j && bytes[s] == '#' {
+        hashes += 1;
+        s += 1;
+    }
+    if s < j && bytes[s] == '"' {
+        s += 1;
+    }
+    let e = j.saturating_sub(1 + hashes).max(s);
+    bytes[s..e].iter().collect()
 }
 
 fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
@@ -430,6 +514,23 @@ mod tests {
         assert!(idents.contains(&"also_real"));
         assert!(!idents.contains(&"tests"));
         assert_eq!(idents.iter().filter(|&&s| s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn spans_and_string_literal_text() {
+        let src = "t.counter(\"exec.op.rows\", n); let r = r#\"raw.name\"#;";
+        let (toks, _) = tokenize(src);
+        let lits: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits[0].text, "exec.op.rows");
+        assert!(lits.iter().any(|t| t.text == "raw.name"));
+        let chars: Vec<char> = src.chars().collect();
+        for t in &toks {
+            assert!(t.pos < t.end, "empty span for {t:?}");
+            let slice: String = chars[t.pos as usize..t.end as usize].iter().collect();
+            if t.kind == TokKind::Ident {
+                assert_eq!(slice, t.text);
+            }
+        }
     }
 
     #[test]

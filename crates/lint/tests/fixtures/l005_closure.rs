@@ -1,0 +1,29 @@
+//! Seeded fixture (L005): lock-order inversion hidden behind a deferred
+//! closure. `direct` takes `beta -> alpha`; `deferred` acquires `alpha`
+//! and then hands a closure that takes `beta` to a runner. The closure's
+//! acquisition must be attributed to the `pool_run` call site — scanning
+//! it at definition time sees an empty held set (or worse, fabricates the
+//! reverse edge) and misses the cycle.
+
+pub struct Store {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Store {
+    fn direct(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+
+    fn deferred(&self) -> u64 {
+        let job = move || {
+            let g = self.beta.lock();
+            *g
+        };
+        let a = self.alpha.lock();
+        let out = pool_run(job);
+        *a + out
+    }
+}

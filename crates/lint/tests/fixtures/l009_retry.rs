@@ -1,0 +1,62 @@
+//! Seeded fixture (L009): unsound error classification. The enum's
+//! classifiers skip variants and hide behind a wildcard arm, and a retry
+//! loop re-enters on an unclassified error. The pragma-covered loop shows
+//! the suppressed form.
+
+pub enum IcError {
+    Parse(String),
+    SiteUnavailable { site: u32 },
+    Internal(String),
+}
+
+impl IcError {
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IcError::SiteUnavailable { .. })
+    }
+
+    pub fn is_failover_retryable(&self) -> bool {
+        match self {
+            IcError::SiteUnavailable { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+fn unguarded_retry_loop() -> Result<u32, IcError> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match step(attempts) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                record(e);
+            }
+        }
+    }
+}
+
+fn guarded_retry_loop() -> Result<u32, IcError> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match step(attempts) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_failover_retryable() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ic-lint: allow(L009) because the fixture demonstrates the suppressed form
+fn suppressed_retry_loop() -> Result<u32, IcError> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match step(attempts) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                record(e);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded fixture (L010): raw indexing of column buffers and selection
+//! vectors outside the sanctioned columnar plane. The pragma-covered fn
+//! shows the suppressed form.
+
+fn leak(batch: &ColumnBatch) -> i64 {
+    let col = batch.col(0);
+    if let ColumnData::Int(v) = &col.data {
+        let sel = batch.selection();
+        let first = v[0];
+        let second = v.get(1).unwrap();
+        let s = sel[0];
+        first + *second + s as i64
+    } else {
+        0
+    }
+}
+
+fn accessor_based(batch: &ColumnBatch, k: usize) -> Datum {
+    batch.col(0).datum_at(batch.phys_index(k))
+}
+
+// ic-lint: allow(L010) because the fixture demonstrates the suppressed form
+fn suppressed(batch: &ColumnBatch) -> i64 {
+    if let ColumnData::Int(v) = &batch.col(0).data {
+        v[0]
+    } else {
+        0
+    }
+}

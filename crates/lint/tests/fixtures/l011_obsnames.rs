@@ -1,0 +1,10 @@
+//! Seeded fixture (L011): a metric emitted under a name the registry does
+//! not know. `exec.fixture.documented` is registered, `exec.fixture.rogue`
+//! is not; the pragma-covered emission shows the suppressed form.
+
+fn emit(metrics: &Metrics, trace: &Trace) {
+    metrics.counter("exec.fixture.documented", 1);
+    metrics.counter("exec.fixture.rogue", 1);
+    // ic-lint: allow(L011) because the fixture demonstrates the suppressed form
+    trace.event("exec.fixture.suppressed", "detail");
+}

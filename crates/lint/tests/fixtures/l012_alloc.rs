@@ -1,0 +1,29 @@
+//! Seeded fixture (L012): heap allocation inside a kernel inner loop.
+//! Setup allocation outside the loop is fine; the pragma-covered sweep
+//! shows the suppressed form.
+
+pub fn alloc_in_loop(n: usize, out: &mut Vec<u64>) {
+    for i in 0..n {
+        let tmp = vec![0u8; 4];
+        let s = format!("{i}");
+        out.push(tmp.len() as u64 + s.len() as u64);
+    }
+}
+
+pub fn setup_alloc_is_fine(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i as u64);
+    }
+    out
+}
+
+// ic-lint: allow(L012) because the fixture demonstrates the suppressed form
+pub fn suppressed_sweep(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        let v = vec![0u8; i];
+        total += v.len();
+    }
+    total
+}

@@ -1,0 +1,11 @@
+//! Seeded fixture (reachability): a kernel entry point whose inner loop
+//! calls a helper defined in a file no path-based scope would ever police.
+//! Lint together with `reach_helper.rs`.
+
+pub fn gather_sweep(n: usize) -> u64 {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += cold_file_helper(i);
+    }
+    acc
+}

@@ -205,6 +205,7 @@ impl WireSize for ColumnBatch {
     /// Exact size of the column-contiguous frame: header, then per column a
     /// tag, a validity flag (plus packed words when any row is NULL), and
     /// one contiguous typed value run covering only the *selected* rows.
+    // ic-lint: allow(L010) because serialization sizing walks the full physical buffer; validity is consulted wherever a value's wire width depends on it
     fn wire_size(&self) -> usize {
         let n = self.num_rows();
         let mut size = 8; // nrows + ncols
@@ -250,6 +251,7 @@ pub fn encode_columns(batch: &ColumnBatch) -> Bytes {
 /// [`encode_columns`], appending into a caller-owned buffer. The selection
 /// vector is resolved here: only selected rows are framed, and string
 /// offsets are recomputed over the selected run.
+// ic-lint: allow(L010) because wire encoding copies the physical buffer verbatim; the validity words travel alongside and are re-applied on decode
 pub fn encode_columns_into(batch: &ColumnBatch, buf: &mut BytesMut) {
     buf.reserve(batch.wire_size());
     let n = batch.num_rows();
