@@ -10,13 +10,32 @@
 //! (default 2000). Network/timeout knobs come from the usual
 //! `IC_BENCH_NET_MBPS` / `IC_BENCH_NET_LAT_US` / `IC_BENCH_TIMEOUT_SECS`
 //! environment variables.
+//!
+//! `--writes` switches to the DML chaos experiment: a deterministic
+//! interleaved INSERT/UPDATE/DELETE stream runs across a scripted
+//! topology storyline (kill a primary mid-stream, admit a fresh site,
+//! revive the dead one, retire the newcomer) and reports per-phase
+//! write availability, the client-visible promotion latency of the
+//! first write that had to fail over, and the rebalance/replication
+//! counters. Every acknowledged write is verified readable at the end
+//! and the cluster must be back at full replication factor — the run
+//! *asserts* both, so it is a correctness gate as much as a benchmark.
+//! Writes `BENCH_dml.json`; `--writes --smoke` runs a scaled-down
+//! asserting pass for CI without touching the JSON.
 
 use ic_bench::load_tpch;
 use ic_bench::runner::{calibrated_network, sweep_timeout};
+use ic_common::obs::MetricsRegistry;
 use ic_core::{Cluster, ClusterConfig, FaultPlan, SystemVariant};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--writes") {
+        writes_mode(argv.iter().any(|a| a == "--smoke"));
+        return;
+    }
     let args: Vec<String> = std::env::args().collect();
     let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -113,4 +132,356 @@ fn main() {
     if failed > 0 {
         println!("NOTE: {failed} quer{} failed under the fault schedule — expected when the schedule kills more sites than `backups` can cover", if failed == 1 { "y" } else { "ies" });
     }
+}
+
+// ---------------------------------------------------------------------------
+// --writes: DML availability under a scripted topology storyline
+// ---------------------------------------------------------------------------
+
+struct PhaseStats {
+    name: &'static str,
+    attempted: usize,
+    acked: usize,
+    failed: usize,
+    retried_writes: usize,
+    retries_total: u32,
+    wall: Duration,
+    /// Wall time of the first write in this phase that needed failover
+    /// retries — the client-visible promotion latency after a kill.
+    first_failover_ms: Option<f64>,
+}
+
+impl PhaseStats {
+    fn availability(&self) -> f64 {
+        100.0 * self.acked as f64 / self.attempted.max(1) as f64
+    }
+}
+
+/// Drive `ops` deterministic single-key writes round-robin over `keys`,
+/// maintaining the acked-write shadow. A key the shadow knows is absent
+/// gets an INSERT, a known-present key gets an UPDATE (or, every fifth
+/// op, a DELETE) — so no statement is ever *expected* to be rejected and
+/// every refusal counts against availability. Failed statements taint
+/// their key (the partition batch may or may not have committed), which
+/// excludes it from the final exact-match verification.
+#[allow(clippy::too_many_arguments)]
+fn run_write_phase(
+    cluster: &Cluster,
+    name: &'static str,
+    keys: &[i64],
+    ops: usize,
+    seq: &mut u64,
+    shadow: &mut BTreeMap<i64, i64>,
+    tainted: &mut BTreeSet<i64>,
+) -> PhaseStats {
+    let mut stats = PhaseStats {
+        name,
+        attempted: 0,
+        acked: 0,
+        failed: 0,
+        retried_writes: 0,
+        retries_total: 0,
+        wall: Duration::ZERO,
+        first_failover_ms: None,
+    };
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let k = keys[(*seq as usize) % keys.len()];
+        let v = *seq as i64;
+        let (sql, kind) = if !shadow.contains_key(&k) {
+            (format!("INSERT INTO kv (k, v) VALUES ({k}, {v})"), 'i')
+        } else if seq.is_multiple_of(5) {
+            (format!("DELETE FROM kv WHERE k = {k}"), 'd')
+        } else {
+            (format!("UPDATE kv SET v = {v} WHERE k = {k}"), 'u')
+        };
+        *seq += 1;
+        stats.attempted += 1;
+        let w0 = Instant::now();
+        match cluster.dml(&sql) {
+            Ok(r) => {
+                stats.acked += 1;
+                if r.retries > 0 {
+                    stats.retried_writes += 1;
+                    stats.retries_total += r.retries;
+                    if stats.first_failover_ms.is_none() {
+                        stats.first_failover_ms = Some(w0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                match kind {
+                    'd' => {
+                        shadow.remove(&k);
+                    }
+                    _ => {
+                        shadow.insert(k, v);
+                    }
+                }
+            }
+            // ic-lint: allow(L009) because the loop iterates distinct stream writes; a failed statement is counted against availability and never re-attempted
+            Err(_) => {
+                // The statement may have committed some partition batches
+                // before failing; the key's state is unknown.
+                stats.failed += 1;
+                shadow.remove(&k);
+                tainted.insert(k);
+            }
+        }
+    }
+    stats.wall = t0.elapsed();
+    println!(
+        "phase {name:<12} {:>4} writes: {} acked ({:.1}% available), {} failed over ({} retries){}",
+        stats.attempted,
+        stats.acked,
+        stats.availability(),
+        stats.retried_writes,
+        stats.retries_total,
+        stats
+            .first_failover_ms
+            .map(|ms| format!(", first failover write {ms:.2} ms"))
+            .unwrap_or_default(),
+    );
+    stats
+}
+
+/// Verify every acknowledged write is readable with its last acked value
+/// and the cluster is back at full replication factor with converged
+/// replicas. Panics on violation — the bench doubles as a chaos gate.
+fn verify_writes(
+    cluster: &Cluster,
+    shadow: &BTreeMap<i64, i64>,
+    tainted: &BTreeSet<i64>,
+    backups: usize,
+) {
+    let q = cluster.query("SELECT k, v FROM kv ORDER BY k").expect("final read");
+    let actual: BTreeMap<i64, i64> = q
+        .rows
+        .iter()
+        .map(|r| {
+            (r.0[0].as_int().expect("bigint key"), r.0[1].as_int().expect("bigint value"))
+        })
+        .collect();
+    for (k, v) in shadow {
+        assert_eq!(
+            actual.get(k),
+            Some(v),
+            "acked write lost: key {k} should be {v}, found {:?}",
+            actual.get(k)
+        );
+    }
+    for k in actual.keys() {
+        assert!(
+            shadow.contains_key(k) || tainted.contains(k),
+            "resurrected row: key {k} present but never acked / acked deleted"
+        );
+    }
+    let map = cluster.catalog().membership().snapshot();
+    let members = map.members().len();
+    let wanted = (backups + 1).min(members);
+    let id = cluster.catalog().table_by_name("kv").expect("kv exists");
+    let data = cluster.catalog().table_data(id).expect("kv data");
+    for p in 0..map.num_partitions() {
+        let owners = map.owners_of(p).to_vec();
+        assert!(
+            owners.len() >= wanted,
+            "partition {p} under-replicated after recovery: {} < {wanted} owners",
+            owners.len()
+        );
+        let versions: Vec<u64> =
+            owners.iter().map(|&s| data.replica(p, s).map(|st| st.version).unwrap_or(0)).collect();
+        assert!(
+            versions.windows(2).all(|w| w[0] == w[1]),
+            "partition {p} replicas diverged after recovery: versions {versions:?}"
+        );
+    }
+    println!(
+        "verified: {} acked keys readable, {} partitions at {}x replication, replicas converged",
+        shadow.len(),
+        map.num_partitions(),
+        wanted
+    );
+}
+
+fn writes_mode(smoke: bool) {
+    let sites = 4usize;
+    let backups = 1usize;
+    let (n_keys, phase_ops) = if smoke { (48i64, 90usize) } else { (192i64, 300usize) };
+    let cluster = Cluster::new(ClusterConfig {
+        sites,
+        backups,
+        variant: SystemVariant::ICPlus,
+        network: calibrated_network(),
+        exec_timeout: Some(sweep_timeout()),
+        ..ClusterConfig::default()
+    });
+    println!(
+        "== chaos --writes{}: {n_keys} keys, {phase_ops} writes/phase, {sites} sites, backups={backups} ==",
+        if smoke { " --smoke" } else { "" }
+    );
+    cluster.run("CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY (k))").expect("create kv");
+
+    let keys: Vec<i64> = (0..n_keys).collect();
+    let mut shadow: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut tainted: BTreeSet<i64> = BTreeSet::new();
+    let mut seq: u64 = 1;
+    for chunk in keys.chunks(16) {
+        let values: Vec<String> = chunk.iter().map(|k| format!("({k}, {k})")).collect();
+        cluster
+            .dml(&format!("INSERT INTO kv (k, v) VALUES {}", values.join(", ")))
+            .expect("preload");
+        for &k in chunk {
+            shadow.insert(k, k);
+        }
+    }
+
+    let reg = MetricsRegistry::global();
+    let promotions0 = reg.counter("core.rebalance.promotions").get();
+    let migrations0 = reg.counter("core.rebalance.migrations").get();
+    let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut events: Vec<(String, f64)> = Vec::new();
+
+    phases.push(run_write_phase(
+        &cluster, "healthy", &keys, phase_ops, &mut seq, &mut shadow, &mut tainted,
+    ));
+
+    // Kill a site mid-stream WITHOUT a proactive repair: the next write
+    // routed to one of its primaries pays the promotion, and that write's
+    // wall time is the availability gap a client actually observes.
+    let victim = 1usize;
+    cluster.kill_site(victim);
+    println!("killed site {victim} (primaries promoted on demand by the write path)");
+    phases.push(run_write_phase(
+        &cluster, "post-kill", &keys, phase_ops, &mut seq, &mut shadow, &mut tainted,
+    ));
+    if let Some(ms) = phases.last().and_then(|p| p.first_failover_ms) {
+        events.push(("promotion_latency_ms".into(), ms));
+    }
+
+    // Admit a fresh site: chunked migration runs to completion, then the
+    // stream continues against the rebalanced map.
+    let newcomer = sites;
+    let t0 = Instant::now();
+    let migrated = cluster.join_site(newcomer);
+    let join_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("joined site {newcomer}: {migrated} replicas migrated in {join_ms:.2} ms");
+    events.push(("join_migration_ms".into(), join_ms));
+    phases.push(run_write_phase(
+        &cluster, "post-join", &keys, phase_ops, &mut seq, &mut shadow, &mut tainted,
+    ));
+
+    // Revive the dead site: its stale replicas must resync (or demote)
+    // before any read can route to them.
+    let t0 = Instant::now();
+    cluster.revive_site(victim);
+    let revive_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("revived site {victim}: resynced in {revive_ms:.2} ms");
+    events.push(("revive_resync_ms".into(), revive_ms));
+    phases.push(run_write_phase(
+        &cluster, "post-revive", &keys, phase_ops, &mut seq, &mut shadow, &mut tainted,
+    ));
+
+    // Retire the newcomer gracefully: primaries promoted away, copies
+    // re-replicated, then it leaves membership.
+    let t0 = Instant::now();
+    let moved = cluster.leave_site(newcomer);
+    let leave_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("site {newcomer} left: {moved} replicas moved in {leave_ms:.2} ms");
+    events.push(("leave_handoff_ms".into(), leave_ms));
+    phases.push(run_write_phase(
+        &cluster, "post-leave", &keys, phase_ops, &mut seq, &mut shadow, &mut tainted,
+    ));
+
+    let report = cluster.repair();
+    assert!(
+        report.lost_partitions.is_empty(),
+        "partitions lost under scripted chaos: {:?}",
+        report.lost_partitions
+    );
+    verify_writes(&cluster, &shadow, &tainted, backups);
+
+    println!("-- dml chaos summary --");
+    let promotions = reg.counter("core.rebalance.promotions").get() - promotions0;
+    let migrations = reg.counter("core.rebalance.migrations").get() - migrations0;
+    println!(
+        "topology work: {promotions} promotions, {migrations} replica migrations, {} replication messages, {} write conflicts",
+        reg.counter("net.replicate.messages").get(),
+        reg.counter("storage.write.conflicts").get(),
+    );
+    for p in &phases {
+        assert!(
+            p.failed == 0,
+            "phase {} refused {} writes — a single scripted kill with backups=1 must stay fully available",
+            p.name,
+            p.failed
+        );
+    }
+    let killed_phase = &phases[1];
+    assert!(
+        killed_phase.retried_writes > 0,
+        "post-kill phase never failed over — the kill did not exercise promotion"
+    );
+
+    if !smoke {
+        write_dml_json(&phases, &events, n_keys, phase_ops, sites, backups);
+    }
+    println!("dml chaos OK: zero acked-write loss, full replication factor restored");
+}
+
+fn write_dml_json(
+    phases: &[PhaseStats],
+    events: &[(String, f64)],
+    n_keys: i64,
+    phase_ops: usize,
+    sites: usize,
+    backups: usize,
+) {
+    let reg = MetricsRegistry::global();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"keys\": {n_keys}, \"writes_per_phase\": {phase_ops}, \"sites\": {sites}, \"backups\": {backups},\n"
+    ));
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"attempted\": {}, \"acked\": {}, \"failed\": {}, \
+\"availability_pct\": {:.2}, \"failover_writes\": {}, \"retries\": {}, \"wall_ms\": {:.2}{}}}{}\n",
+            p.name,
+            p.attempted,
+            p.acked,
+            p.failed,
+            p.availability(),
+            p.retried_writes,
+            p.retries_total,
+            p.wall.as_secs_f64() * 1e3,
+            p.first_failover_ms
+                .map(|ms| format!(", \"first_failover_ms\": {ms:.3}"))
+                .unwrap_or_default(),
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"events\": {");
+    json.push_str(
+        &events
+            .iter()
+            .map(|(name, ms)| format!("\"{name}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"counters\": {{\"promotions\": {}, \"migrations\": {}, \"migration_chunks\": {}, \
+\"replicate_messages\": {}, \"replicate_bytes\": {}, \"replicate_failures\": {}, \
+\"write_rows\": {}, \"write_batches\": {}, \"write_conflicts\": {}}}\n",
+        reg.counter("core.rebalance.promotions").get(),
+        reg.counter("core.rebalance.migrations").get(),
+        reg.counter("core.rebalance.chunks").get(),
+        reg.counter("net.replicate.messages").get(),
+        reg.counter("net.replicate.bytes").get(),
+        reg.counter("net.replicate.failures").get(),
+        reg.counter("storage.write.rows").get(),
+        reg.counter("storage.write.batches").get(),
+        reg.counter("storage.write.conflicts").get(),
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_dml.json", &json).expect("write BENCH_dml.json");
+    println!("wrote BENCH_dml.json");
 }

@@ -81,6 +81,26 @@ pub enum IcError {
         /// Each attempt's failure, in order.
         chain: Vec<String>,
     },
+    /// A replicated write observed a different per-partition version than
+    /// the one it was prepared against: a concurrent writer (or a promotion
+    /// that surfaced a stale replica) moved the partition underneath it.
+    /// Retryable: the writer re-reads the current version and re-applies.
+    WriteConflict {
+        /// The partition whose version check failed.
+        partition: usize,
+        /// The version the write was prepared against.
+        expected_version: u64,
+        /// The version actually found at commit time.
+        found_version: u64,
+    },
+    /// The partition addressed by a read or write is mid-migration (its
+    /// ownership epoch changed between planning and execution, or its data
+    /// is being copied to a joining site). Retryable: the coordinator
+    /// refreshes the membership snapshot and re-routes.
+    RebalanceInProgress {
+        /// The partition being migrated/promoted.
+        partition: usize,
+    },
     /// An internal invariant was broken (a "this cannot happen" state such
     /// as an operator polled before open or an unregistered exchange node).
     /// Not retryable: the bug is in the engine, not the topology.
@@ -122,6 +142,13 @@ impl fmt::Display for IcError {
                 write!(f, "failover exhausted after {attempts} attempt(s): ")?;
                 write!(f, "{}", chain.join(" -> "))
             }
+            IcError::WriteConflict { partition, expected_version, found_version } => write!(
+                f,
+                "write conflict on partition {partition}: expected version {expected_version}, found {found_version}"
+            ),
+            IcError::RebalanceInProgress { partition } => {
+                write!(f, "partition {partition} is rebalancing; retry against the new owner map")
+            }
             IcError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -152,10 +179,14 @@ impl IcError {
     pub fn is_retryable(&self) -> bool {
         match self {
             // Transient: the cluster state that failed the query can change
-            // without the query changing.
+            // without the query changing. Write conflicts resolve once the
+            // competing writer commits; rebalance windows close once the
+            // chunked migration or promotion finishes.
             IcError::SiteUnavailable { .. }
             | IcError::Overloaded { .. }
-            | IcError::ResourcesRevoked { .. } => true,
+            | IcError::ResourcesRevoked { .. }
+            | IcError::WriteConflict { .. }
+            | IcError::RebalanceInProgress { .. } => true,
             // Terminal: properties of the query text, the plan space, or
             // the configured limits — resubmitting the same query hits the
             // same wall.
@@ -186,7 +217,12 @@ impl IcError {
     /// up on a recoverable one.
     pub fn is_failover_retryable(&self) -> bool {
         match self {
-            IcError::SiteUnavailable { .. } => true,
+            // Replan-and-retry in-process: the coordinator refreshes its
+            // membership/version snapshot and the next attempt can succeed
+            // without the client resubmitting.
+            IcError::SiteUnavailable { .. }
+            | IcError::WriteConflict { .. }
+            | IcError::RebalanceInProgress { .. } => true,
             // Shed/revoked: retryable by the client, not in-process.
             IcError::Overloaded { .. } | IcError::ResourcesRevoked { .. } => false,
             IcError::Parse(_)
@@ -251,5 +287,31 @@ mod tests {
         let msg = exhausted.to_string();
         assert!(msg.contains("3 attempt"));
         assert!(msg.contains("a -> b -> c"));
+    }
+
+    /// Pinned semantics for the DML-era variants: both are transient *and*
+    /// safe to retry inside the coordinator's failover loop (unlike
+    /// shed/revoked errors, retrying them does not defeat back-pressure —
+    /// the conflicting writer or the migration makes progress regardless).
+    #[test]
+    fn write_conflict_retry_semantics() {
+        let conflict =
+            IcError::WriteConflict { partition: 7, expected_version: 3, found_version: 5 };
+        assert!(conflict.is_retryable());
+        assert!(conflict.is_failover_retryable());
+        assert!(!conflict.is_planner_failure());
+        let msg = conflict.to_string();
+        assert!(msg.contains("partition 7"));
+        assert!(msg.contains("expected version 3"));
+        assert!(msg.contains("found 5"));
+    }
+
+    #[test]
+    fn rebalance_in_progress_retry_semantics() {
+        let moving = IcError::RebalanceInProgress { partition: 12 };
+        assert!(moving.is_retryable());
+        assert!(moving.is_failover_retryable());
+        assert!(!moving.is_planner_failure());
+        assert!(moving.to_string().contains("partition 12"));
     }
 }

@@ -2,7 +2,8 @@
 //! (Figure 6's end-to-end flow).
 
 use crate::governor::{Governor, GovernorConfig};
-use crate::result::QueryResult;
+use crate::rebalance::{RebalanceController, RepairReport};
+use crate::result::{DmlResult, QueryResult};
 use ic_common::obs::{MetricsRegistry, SpanId, Trace, TraceSink};
 use ic_common::{IcError, IcResult, Row, Schema};
 use ic_exec::{execute_plan, ExecOptions};
@@ -122,6 +123,7 @@ pub struct Cluster {
     catalog: Arc<Catalog>,
     network: Arc<Network>,
     governor: Arc<Governor>,
+    controller: Arc<RebalanceController>,
 }
 
 impl Cluster {
@@ -133,7 +135,8 @@ impl Cluster {
         let catalog = Catalog::new(Topology::with_backups(config.sites, config.backups));
         let network = Network::new(config.network.clone());
         let governor = Governor::new(config.governor.clone());
-        Cluster { config, flags, catalog, network, governor }
+        let controller = Arc::new(RebalanceController::new(catalog.clone(), network.clone()));
+        Cluster { config, flags, catalog, network, governor, controller }
     }
 
     /// A cluster sharing this one's data but running as a different system
@@ -149,12 +152,16 @@ impl Cluster {
         if let Some(b) = config.planner_budget {
             flags.planner_budget = b;
         }
+        let network = Network::new(self.config.network.clone());
+        let controller =
+            Arc::new(RebalanceController::new(self.catalog.clone(), network.clone()));
         Cluster {
             config,
             flags,
             catalog: self.catalog.clone(),
-            network: Network::new(self.config.network.clone()),
+            network,
             governor: self.governor.clone(),
+            controller,
         }
     }
 
@@ -186,9 +193,12 @@ impl Cluster {
         self.network.install_faults(plan)
     }
 
-    /// Remove any fault schedule and return every site to `Alive`.
+    /// Remove any fault schedule and return every site to `Alive`,
+    /// resyncing replicas that went stale while their site was faulted so
+    /// the now-live copies cannot serve stale reads.
     pub fn clear_faults(&self) {
-        self.network.clear_faults()
+        self.network.clear_faults();
+        self.controller.repair();
     }
 
     /// Mark a site permanently dead (operator-style, without a fault
@@ -199,8 +209,12 @@ impl Cluster {
     }
 
     /// Bring a killed site back (the inverse of [`Cluster::kill_site`]).
+    /// The revived site's replicas missed every write committed while it
+    /// was down; a synchronous repair pass resyncs (or demotes) them
+    /// before any read can route to a stale copy.
     pub fn revive_site(&self, site: usize) {
         self.network.liveness().mark_alive(SiteId(site));
+        self.controller.repair();
     }
 
     /// Execute a DDL statement (CREATE TABLE / CREATE INDEX).
@@ -259,10 +273,119 @@ impl Cluster {
                 self.catalog.create_index(&ci.name, table, cols)?;
                 Ok(())
             }
+            stmt @ (Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)) => {
+                self.dml_stmt(&stmt)?;
+                Ok(())
+            }
             Statement::Query(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => Err(
                 IcError::Exec("use query() for SELECT statements".into()),
             ),
         }
+    }
+
+    /// Execute a DML statement (INSERT/UPDATE/DELETE) end-to-end: bind,
+    /// route by the table's partitioning trait, and commit with synchronous
+    /// primary→backup replication. An acknowledged statement is applied on
+    /// the primary *and* every live backup of each touched partition, so no
+    /// single site death can lose it.
+    ///
+    /// Failover-retryable failures (dead primary, ownership moved mid-write,
+    /// version conflict) trigger a [`RebalanceController::repair`] pass —
+    /// promoting live backups over dead primaries — and the statement is
+    /// re-routed against the fresh replica map, up to `max_retries` times
+    /// with the same seeded backoff the query path uses.
+    ///
+    /// Atomicity is per partition batch: a multi-partition statement that
+    /// fails mid-way has committed some partitions and not others (each
+    /// committed batch is fully replicated and durable); the retry
+    /// re-applies the op, which is idempotent for upserts and predicate
+    /// ops, and `rows_affected` reports the final attempt's count.
+    pub fn dml(&self, sql: &str) -> IcResult<DmlResult> {
+        let stmt = parse_sql(sql)?;
+        match stmt {
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                self.dml_stmt(&stmt)
+            }
+            _ => Err(IcError::Exec("use query()/run() for non-DML statements".into())),
+        }
+    }
+
+    fn dml_stmt(&self, stmt: &Statement) -> IcResult<DmlResult> {
+        let bound = ic_sql::bind_dml(stmt, &self.catalog)?;
+        let mut chain: Vec<String> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            // Replan every attempt: partition pinning and routing must see
+            // the replica map as repaired after the previous failure.
+            let result = ic_opt::plan_dml(&self.catalog, bound.clone()).and_then(|plan| {
+                ic_storage::execute_dml(
+                    &self.catalog,
+                    &self.network,
+                    plan.table,
+                    &plan.op,
+                    plan.pinned_partition(),
+                )
+            });
+            match result {
+                Ok(out) => {
+                    if attempt > 0 {
+                        MetricsRegistry::global().counter("core.query.retries").add(attempt.into());
+                    }
+                    if out.degraded {
+                        // The ack skipped a dead backup: re-replicate now so
+                        // one more failure cannot make the surviving copies
+                        // of this write the last ones.
+                        self.controller.repair();
+                    }
+                    return Ok(DmlResult {
+                        rows_affected: out.rows_affected,
+                        batches: out.batches,
+                        retries: attempt,
+                    });
+                }
+                Err(e) if e.is_failover_retryable() => {
+                    chain.push(e.to_string());
+                    if attempt >= self.config.max_retries {
+                        return Err(IcError::RetriesExhausted { attempts: attempt + 1, chain });
+                    }
+                    attempt += 1;
+                    let backoff = self.retry_backoff(0, attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    self.network.refresh_liveness();
+                    // Promote live backups over whatever just died so the
+                    // retry has a live primary to write to.
+                    self.controller.repair();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The membership/rebalance controller (promotion, re-replication,
+    /// chunked migration).
+    pub fn controller(&self) -> &Arc<RebalanceController> {
+        &self.controller
+    }
+
+    /// Run one repair pass: promote live backups over dead primaries, catch
+    /// up stale revived replicas, re-replicate under-replicated partitions.
+    pub fn repair(&self) -> RepairReport {
+        self.controller.repair()
+    }
+
+    /// Admit a new site into the cluster and rebalance partition replicas
+    /// onto it (chunked migration, concurrent with queries and writes).
+    /// Returns the number of replicas migrated.
+    pub fn join_site(&self, site: usize) -> usize {
+        self.controller.join_site(SiteId(site))
+    }
+
+    /// Gracefully retire a site: its primaries are promoted away, its
+    /// copies re-replicated, then it is removed from membership.
+    pub fn leave_site(&self, site: usize) -> usize {
+        self.controller.leave_site(SiteId(site))
     }
 
     /// Bulk-insert rows (the benchmark loaders use this instead of
@@ -418,8 +541,11 @@ impl Cluster {
                         std::thread::sleep(backoff);
                     }
                     // Let transiently-crashed sites whose windows have
-                    // closed rejoin before replanning.
+                    // closed rejoin before replanning — and resync their
+                    // stale replicas before the replanned read can route
+                    // to one.
                     self.network.refresh_liveness();
+                    self.controller.repair();
                 }
                 Err(e) => {
                     if let Some(t) = trace {
@@ -815,6 +941,92 @@ mod tests {
             }
             other => panic!("expected RetriesExhausted, got {other}"),
         }
+    }
+
+    #[test]
+    fn dml_roundtrip_insert_update_delete() {
+        let cluster = sample_cluster(SystemVariant::ICPlus);
+        let r = cluster
+            .dml("INSERT INTO employee (id, name, dept) VALUES (200, 'new hire', 9)")
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let q = cluster.query("SELECT name, dept FROM employee WHERE id = 200").unwrap();
+        assert_eq!(q.rows.len(), 1);
+        assert_eq!(q.rows[0].0[1], Datum::Int(9));
+        let r = cluster.dml("UPDATE employee SET dept = dept + 1 WHERE id = 200").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let q = cluster.query("SELECT dept FROM employee WHERE id = 200").unwrap();
+        assert_eq!(q.rows[0].0[0], Datum::Int(10));
+        let r = cluster.dml("DELETE FROM employee WHERE id = 200").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let q = cluster.query("SELECT count(*) FROM employee").unwrap();
+        assert_eq!(q.rows[0].0[0].as_int(), Some(100));
+        // run() routes DML too (no result surfaced).
+        cluster.run("INSERT INTO employee (id, name, dept) VALUES (201, 'x', 1)").unwrap();
+        assert_eq!(cluster.table_rows("employee").unwrap(), 101);
+        // INSERT is a PK upsert: same key replaces, count is unchanged.
+        cluster.dml("INSERT INTO employee (id, name, dept) VALUES (201, 'y', 2)").unwrap();
+        assert_eq!(cluster.table_rows("employee").unwrap(), 101);
+    }
+
+    #[test]
+    fn dml_survives_dead_primary_via_promotion() {
+        let cluster = failover_cluster(4, 1);
+        cluster.kill_site(2);
+        // An unpinned DELETE touches every partition; partition 2's primary
+        // is dead, so the first attempt fails retryably, the repair pass
+        // promotes its backup, and the retry commits.
+        // Partition batches are atomic but the statement is not: partitions
+        // committed by the first attempt report zero matches on the retry,
+        // so rows_affected counts the final attempt only — the end state is
+        // what the assertions below pin.
+        let r = cluster.dml("DELETE FROM t WHERE a < 100").unwrap();
+        assert!(r.rows_affected <= 100);
+        assert!(r.retries >= 1, "expected a failover retry, got {}", r.retries);
+        let q = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(q.rows[0].0[0].as_int(), Some(1900));
+        // The repair promoted a live owner: writes now ack on first try.
+        let r = cluster.dml("INSERT INTO t (a, b) VALUES (5000, 1)").unwrap();
+        assert_eq!((r.rows_affected, r.retries), (1, 0));
+    }
+
+    #[test]
+    fn dml_without_backups_exhausts_retries_on_dead_site() {
+        let cluster = failover_cluster(4, 0);
+        cluster.kill_site(1);
+        let err = cluster.dml("DELETE FROM t").unwrap_err();
+        assert!(matches!(err, IcError::RetriesExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn join_site_migrates_and_serves() {
+        let cluster = failover_cluster(4, 1);
+        let migrated = cluster.join_site(4);
+        assert!(migrated > 0, "the joiner should receive at least one replica");
+        let map = cluster.catalog().membership().snapshot();
+        assert_eq!(map.members().len(), 5);
+        assert!(!map.partitions_hosted_by(SiteId(4)).is_empty());
+        let q = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(q.rows[0].0[0].as_int(), Some(2000));
+        let r = cluster.dml("INSERT INTO t (a, b) VALUES (9001, 3)").unwrap();
+        assert_eq!(r.rows_affected, 1);
+    }
+
+    #[test]
+    fn leave_site_keeps_data_and_replication() {
+        let cluster = failover_cluster(4, 1);
+        let moved = cluster.leave_site(0);
+        let map = cluster.catalog().membership().snapshot();
+        assert_eq!(map.members().len(), 3);
+        // Every partition keeps the target replication factor without the
+        // departed site.
+        for p in 0..map.num_partitions() {
+            assert!(!map.owners_of(p).contains(&SiteId(0)), "partition {p}");
+            assert!(map.owners_of(p).len() >= 2, "partition {p} under-replicated");
+        }
+        assert!(moved > 0);
+        let q = cluster.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(q.rows[0].0[0].as_int(), Some(2000));
     }
 
     #[test]

@@ -41,13 +41,15 @@
 
 pub mod cluster;
 pub mod governor;
+pub mod rebalance;
 pub mod result;
 
 pub use cluster::{Cluster, ClusterConfig, SystemVariant};
 pub use governor::{Admission, Governor, GovernorConfig, GovernorStats};
+pub use rebalance::{RebalanceController, RepairReport};
 pub use ic_common::{Datum, IcError, IcResult, MemoryLease, MemoryPool, Row};
 pub use ic_net::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, Liveness, NetworkConfig, SiteId, SiteState,
     TICK_FOREVER,
 };
-pub use result::QueryResult;
+pub use result::{DmlResult, QueryResult};

@@ -24,6 +24,19 @@ pub struct QueryResult {
     pub retries: u32,
 }
 
+/// The result of one DML statement (INSERT/UPDATE/DELETE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DmlResult {
+    /// Rows inserted/updated/deleted across all partitions.
+    pub rows_affected: usize,
+    /// Partition write batches committed (one version bump each).
+    pub batches: usize,
+    /// Failover retries used: how many times the statement was re-routed
+    /// after a retryable fault (dead primary, ownership move, version
+    /// conflict), with a repair pass between attempts.
+    pub retries: u32,
+}
+
 impl QueryResult {
     /// Total wall-clock time (planning + execution).
     pub fn total_time(&self) -> Duration {

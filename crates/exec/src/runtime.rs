@@ -447,8 +447,20 @@ impl BuildCtx<'_> {
         Ok(match def.distribution {
             TableDistribution::Replicated => vec![data.partition(0)],
             TableDistribution::HashPartitioned { .. } => {
+                // Read this site's own replica of each partition it serves:
+                // a per-partition version snapshot (Arc of a frozen store),
+                // so concurrent DML batches are observed all-or-nothing. A
+                // missing replica means ownership moved between planning
+                // and execution — surface retryably and replan.
                 let parts = self.assignment.partitions_of(self.site);
-                data.partitions(&parts)
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match data.replica(p, self.site) {
+                        Some(store) => out.push(store.rows),
+                        None => return Err(IcError::RebalanceInProgress { partition: p }),
+                    }
+                }
+                out
             }
         })
     }
@@ -604,7 +616,7 @@ pub fn execute_plan(
     network.refresh_liveness();
     let down = network.liveness().down_sites();
     let assignment =
-        Arc::new(catalog.topology().assignment(&down).map_err(failover_err)?);
+        Arc::new(catalog.membership().assignment(&down).map_err(failover_err)?);
     let plan = uniquify(plan);
     let (fragments, registry) = fragment_plan(&plan, &assignment);
     let registry = Arc::new(registry);

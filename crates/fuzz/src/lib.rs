@@ -17,7 +17,15 @@
 //! On disagreement, [`minimize`] shrinks the query AST and fault schedule
 //! to a minimal reproducer, emitted as a self-contained fixture
 //! ([`fixture`]) that replays byte-identically from its recorded inputs.
+//!
+//! A fourth, write-aware oracle ([`dml`]) replays seeded interleaved
+//! INSERT/UPDATE/DELETE streams with topology churn against a `BTreeMap`
+//! shadow of the table, checking that no acknowledged write is ever lost,
+//! no delete resurrects, and no read observes a torn value. DML scenarios
+//! run on fresh (never cached) clusters and have their own greedy op-list
+//! minimizer ([`minimize_dml`]).
 
+pub mod dml;
 pub mod fixture;
 pub mod gen;
 pub mod minimize;
@@ -25,6 +33,7 @@ pub mod oracle;
 pub mod reference;
 pub mod sim;
 
+pub use dml::{minimize_dml, run_dml_scenario, DmlOp, DmlOutcome, DmlScenario};
 pub use fixture::Fixture;
 pub use gen::{generate_query, SchemaInfo};
 pub use minimize::minimize;

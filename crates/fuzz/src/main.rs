@@ -7,6 +7,10 @@
 //!   --seeds A..B             run an explicit seed range.
 //!   --replay SEED            re-run one scenario, print its digest.
 //!   --replay-fixture PATH    replay a .fix reproducer file.
+//!   --dml-smoke              DML write-stream seeds 0..60 through the
+//!                            write-aware oracle, with determinism checks.
+//!   --dml-seeds A..B         run an explicit DML seed range.
+//!   --dml-replay SEED        re-run one DML scenario, print its digest.
 //!
 //! Every failure message leads with the governing seed; `--replay SEED`
 //! reproduces the exact scenario byte-for-byte.
@@ -16,6 +20,7 @@ use ic_sql::ast::{Query, TableRef};
 use std::time::Instant;
 
 const SMOKE_SEEDS: u64 = 200;
+const DML_SMOKE_SEEDS: u64 = 60;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +47,21 @@ fn main() {
                 let p = it.next().unwrap_or_else(|| usage("--replay-fixture needs PATH"));
                 mode = Some(Mode::Fixture(p.clone()));
             }
+            "--dml-smoke" => mode = Some(Mode::DmlSeeds(0, DML_SMOKE_SEEDS, true)),
+            "--dml-seeds" => {
+                let spec = it.next().unwrap_or_else(|| usage("--dml-seeds needs A..B"));
+                let (a, b) = spec
+                    .split_once("..")
+                    .unwrap_or_else(|| usage("--dml-seeds needs A..B"));
+                let a = a.parse().unwrap_or_else(|_| usage("bad seed range"));
+                let b = b.parse().unwrap_or_else(|_| usage("bad seed range"));
+                mode = Some(Mode::DmlSeeds(a, b, false));
+            }
+            "--dml-replay" => {
+                let s = it.next().unwrap_or_else(|| usage("--dml-replay needs SEED"));
+                mode =
+                    Some(Mode::DmlReplay(s.parse().unwrap_or_else(|_| usage("bad seed"))));
+            }
             "--max-secs" => {
                 let s = it.next().unwrap_or_else(|| usage("--max-secs needs N"));
                 max_secs = s.parse().unwrap_or_else(|_| usage("bad --max-secs"));
@@ -53,6 +73,8 @@ fn main() {
         Some(Mode::Seeds(a, b, smoke)) => run_seeds(a, b, smoke, max_secs),
         Some(Mode::Replay(seed)) => replay(seed),
         Some(Mode::Fixture(path)) => replay_fixture(&path),
+        Some(Mode::DmlSeeds(a, b, smoke)) => run_dml_seeds(a, b, smoke, max_secs),
+        Some(Mode::DmlReplay(seed)) => dml_replay(seed),
         None => usage("pick a mode"),
     };
     std::process::exit(code);
@@ -63,6 +85,9 @@ enum Mode {
     Seeds(u64, u64, bool),
     Replay(u64),
     Fixture(String),
+    /// (from, to, is_smoke)
+    DmlSeeds(u64, u64, bool),
+    DmlReplay(u64),
 }
 
 fn usage(msg: &str) -> ! {
@@ -71,9 +96,89 @@ fn usage(msg: &str) -> ! {
          usage: ic-fuzz --smoke [--max-secs N]\n\
          \x20      ic-fuzz --seeds A..B [--max-secs N]\n\
          \x20      ic-fuzz --replay SEED\n\
-         \x20      ic-fuzz --replay-fixture PATH"
+         \x20      ic-fuzz --replay-fixture PATH\n\
+         \x20      ic-fuzz --dml-smoke [--max-secs N]\n\
+         \x20      ic-fuzz --dml-seeds A..B [--max-secs N]\n\
+         \x20      ic-fuzz --dml-replay SEED"
     );
     std::process::exit(2);
+}
+
+fn run_dml_seeds(from: u64, to: u64, smoke: bool, max_secs: u64) -> i32 {
+    let t0 = Instant::now();
+    let mut ran = 0u64;
+    let mut failures = 0u64;
+    for seed in from..to {
+        if t0.elapsed().as_secs() >= max_secs {
+            println!(
+                "WALL CAP: stopping after {ran}/{} DML scenarios ({max_secs}s budget); \
+                 seeds {seed}..{to} not run",
+                to - from
+            );
+            break;
+        }
+        let scenario = ic_fuzz::DmlScenario::from_seed(seed);
+        let outcome = ic_fuzz::run_dml_scenario(&scenario);
+        ran += 1;
+        if let Some(d) = &outcome.disagreement {
+            failures += 1;
+            println!("DML FUZZ FAILURE seed={seed}\n{d}");
+            println!("replay with: cargo run -p ic-fuzz -- --dml-replay {seed}");
+            print_dml_minimized(seed);
+        }
+        // Replay determinism: same seed, fresh cluster, identical digest.
+        if smoke && seed % 10 == 0 {
+            let out2 = ic_fuzz::run_dml_scenario(&scenario);
+            if out2.digest != outcome.digest {
+                failures += 1;
+                println!(
+                    "DML FUZZ FAILURE seed={seed}: replay digest differs\n\
+                     first:  {}\nsecond: {}",
+                    outcome.digest, out2.digest
+                );
+            }
+        }
+    }
+    println!(
+        "ic-fuzz dml: {ran} scenarios, {failures} failures, {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn dml_replay(seed: u64) -> i32 {
+    let scenario = ic_fuzz::DmlScenario::from_seed(seed);
+    let outcome = ic_fuzz::run_dml_scenario(&scenario);
+    println!("digest: {}", outcome.digest);
+    match &outcome.disagreement {
+        Some(d) => {
+            println!("DML FUZZ FAILURE seed={seed}\n{d}");
+            print_dml_minimized(seed);
+            1
+        }
+        None => {
+            println!("dml seed {seed}: write oracle agrees");
+            0
+        }
+    }
+}
+
+/// Shrink a failing DML stream and print the minimal op list so the
+/// failure log carries a ready-to-commit regression scenario.
+fn print_dml_minimized(seed: u64) {
+    let scenario = ic_fuzz::DmlScenario::from_seed(seed);
+    let mut fails =
+        |s: &ic_fuzz::DmlScenario| ic_fuzz::run_dml_scenario(s).disagreement.is_some();
+    let (small, steps) = ic_fuzz::minimize_dml(&scenario, &mut fails);
+    println!(
+        "--- minimized DML scenario ({steps} shrink steps; save under tests/regressions/) ---"
+    );
+    println!("seed={} {}", small.seed, small.spec());
+    println!("--- end scenario ---");
 }
 
 fn run_seeds(from: u64, to: u64, smoke: bool, max_secs: u64) -> i32 {

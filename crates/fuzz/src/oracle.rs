@@ -38,7 +38,9 @@ pub fn classify(err: &IcError) -> ErrorClass {
         IcError::SiteUnavailable { .. }
         | IcError::RetriesExhausted { .. }
         | IcError::Overloaded { .. }
-        | IcError::ResourcesRevoked { .. } => ErrorClass::Retryable,
+        | IcError::ResourcesRevoked { .. }
+        | IcError::WriteConflict { .. }
+        | IcError::RebalanceInProgress { .. } => ErrorClass::Retryable,
         IcError::ExecTimeout { .. }
         | IcError::MemoryLimit { .. }
         | IcError::PlannerBudgetExceeded { .. } => ErrorClass::Resource,

@@ -17,6 +17,7 @@
 
 pub mod channel;
 pub mod fault;
+pub mod membership;
 pub mod topology;
 pub mod wire;
 
@@ -25,6 +26,7 @@ pub use fault::{
     FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, Liveness,
     SiteState, SplitMix64, TICK_FOREVER,
 };
+pub use membership::{Membership, ReplicaMap};
 pub use topology::{Assignment, FailoverError, SiteId, Topology};
 pub use wire::{BatchEncoder, WireSize};
 
@@ -102,6 +104,12 @@ pub struct Network {
     m_messages: Arc<ic_common::obs::Counter>,
     m_bytes: Arc<ic_common::obs::Counter>,
     m_faults: Arc<ic_common::obs::Counter>,
+    /// Replication traffic class (`net.replicate.*`): primary→backup write
+    /// effects and rebalance chunk copies, kept separate from query
+    /// exchange traffic so experiments can attribute overhead.
+    m_repl_messages: Arc<ic_common::obs::Counter>,
+    m_repl_bytes: Arc<ic_common::obs::Counter>,
+    m_repl_failures: Arc<ic_common::obs::Counter>,
 }
 
 impl Network {
@@ -115,6 +123,9 @@ impl Network {
             m_messages: reg.counter("net.transfer.messages"),
             m_bytes: reg.counter("net.transfer.bytes"),
             m_faults: reg.counter("net.transfer.faults"),
+            m_repl_messages: reg.counter("net.replicate.messages"),
+            m_repl_bytes: reg.counter("net.replicate.bytes"),
+            m_repl_failures: reg.counter("net.replicate.failures"),
         })
     }
 
@@ -215,6 +226,42 @@ impl Network {
         }
         Ok(())
     }
+
+    /// Ship a replication message (a write's effect ops, or one rebalance
+    /// chunk) from `src` to `dst`. Same fault/delay model as
+    /// [`transfer`](Self::transfer) — link drops and site crashes hit real
+    /// writes — but accounted to the `net.replicate.*` traffic class so the
+    /// synchronous-replication overhead is separable from query exchange.
+    pub fn replicate(&self, src: SiteId, dst: SiteId, bytes: usize) -> Result<(), NetError> {
+        if src == dst {
+            self.stats.local_messages.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut delay_factor: u32 = 1;
+        if let Some(injector) = self.fault_injector() {
+            match injector.decide(src, dst, &self.liveness) {
+                FaultDecision::Deliver { delay_factor: f } => delay_factor = f,
+                FaultDecision::Drop => {
+                    self.m_repl_failures.inc();
+                    return Err(NetError::LinkFault);
+                }
+                FaultDecision::SiteDown(site) => {
+                    self.m_repl_failures.inc();
+                    return Err(NetError::SiteDead(site));
+                }
+            }
+        }
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.m_repl_messages.inc();
+        self.m_repl_bytes.add(bytes as u64);
+        let delay = self.config.transfer_delay(bytes) * delay_factor;
+        if !delay.is_zero() {
+            // ic-lint: allow(L004) because the delay simulator is the one sanctioned wall-clock boundary
+            std::thread::sleep(delay);
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for Network {
@@ -292,6 +339,16 @@ mod tests {
         let r = net.transfer_cancellable(SiteId(0), SiteId(1), 10_000, Some(&abort));
         assert_eq!(r, Err(NetError::Aborted));
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn replicate_is_fault_injected() {
+        let net = Network::new(NetworkConfig::instant());
+        net.install_faults(FaultPlan::new(1).crash(SiteId(2), 0));
+        assert!(net.replicate(SiteId(0), SiteId(1), 64).is_ok());
+        assert_eq!(net.replicate(SiteId(0), SiteId(2), 64), Err(NetError::SiteDead(SiteId(2))));
+        // Same-site replication (replicated-table local copy) is free.
+        assert!(net.replicate(SiteId(1), SiteId(1), 64).is_ok());
     }
 
     #[test]

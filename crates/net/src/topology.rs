@@ -141,6 +141,17 @@ pub struct Assignment {
 }
 
 impl Assignment {
+    /// Assemble an assignment from an externally-computed owner map (the
+    /// elastic [`Membership`](crate::membership::Membership) layer builds
+    /// these from its replica map rather than from static placement).
+    pub(crate) fn from_parts(
+        live: Vec<SiteId>,
+        coordinator: SiteId,
+        owner_of: Vec<SiteId>,
+    ) -> Assignment {
+        Assignment { live, coordinator, owner_of }
+    }
+
     /// The all-sites-up assignment (infallible: with no site down, every
     /// partition has its primary).
     pub fn healthy(topology: &Topology) -> Assignment {

@@ -1,0 +1,199 @@
+//! DML routing: decide how a bound write fans out over the cluster.
+//!
+//! The router is the DML counterpart of the Volcano distribution traits:
+//! the table's partitioning trait plus the predicate's determined columns
+//! decide between the single-partition fast path (Ignite's keyed
+//! `put`/`remove`), an all-partition scatter, and the replicated-table
+//! broadcast.
+
+use ic_common::{BinOp, Datum, Expr, IcError, IcResult, Row};
+use ic_plan::dml::{BoundDml, DmlPlan, DmlTarget};
+use ic_storage::{Catalog, TableDistribution, WriteOp};
+
+/// Route a bound DML statement by the table's partitioning trait.
+pub fn plan_dml(catalog: &Catalog, stmt: BoundDml) -> IcResult<DmlPlan> {
+    let def = catalog
+        .table_def(stmt.table)
+        .ok_or_else(|| IcError::Plan(format!("unknown table {}", stmt.table)))?;
+    let target = match &def.distribution {
+        TableDistribution::Replicated => DmlTarget::Broadcast,
+        TableDistribution::HashPartitioned { key_cols } => match &stmt.op {
+            // Inserts are split per-row by the write engine; the plan-level
+            // target says "scatter".
+            WriteOp::Insert { .. } => DmlTarget::AllPartitions,
+            WriteOp::Update { predicate, .. } | WriteOp::Delete { predicate } => {
+                match predicate.as_ref().and_then(|p| pin_partition(catalog, p, key_cols, &def)) {
+                    Some(p) => DmlTarget::SinglePartition(p),
+                    None => DmlTarget::AllPartitions,
+                }
+            }
+        },
+    };
+    Ok(DmlPlan { table: stmt.table, op: stmt.op, target })
+}
+
+/// If `predicate` pins every distribution-key column to a literal (a
+/// conjunction of `col = lit` terms), hash the pinned key to its partition.
+fn pin_partition(
+    catalog: &Catalog,
+    predicate: &Expr,
+    key_cols: &[usize],
+    def: &ic_storage::TableDef,
+) -> Option<usize> {
+    let mut pinned: Vec<Option<Datum>> = vec![None; def.schema.arity()];
+    collect_equalities(predicate, &mut pinned);
+    if key_cols.iter().any(|&k| pinned.get(k).is_none_or(|v| v.is_none())) {
+        return None;
+    }
+    // hash_key reads only the key columns; the rest may stay NULL.
+    let key_row = Row(pinned.into_iter().map(|v| v.unwrap_or(Datum::Null)).collect());
+    let map = catalog.membership().snapshot();
+    Some(map.partition_of_hash(key_row.hash_key(key_cols)))
+}
+
+/// Walk the top-level AND tree collecting `col = literal` bindings. A
+/// column equated to two different literals keeps the first; the predicate
+/// is still evaluated row-by-row at apply time, so over-approximation here
+/// only costs the fast path, never correctness — except that contradictory
+/// pins would route to a partition where the predicate matches nothing,
+/// which is also correct (zero rows affected).
+fn collect_equalities(e: &Expr, pinned: &mut [Option<Datum>]) {
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            collect_equalities(left, pinned);
+            collect_equalities(right, pinned);
+        }
+        Expr::Binary { op: BinOp::Eq, left, right } => match (&**left, &**right) {
+            (Expr::Col(c), Expr::Lit(d)) | (Expr::Lit(d), Expr::Col(c)) => {
+                if let Some(slot) = pinned.get_mut(*c) {
+                    if slot.is_none() && !d.is_null() {
+                        *slot = Some(d.clone());
+                    }
+                }
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_common::{DataType, Field, Schema};
+    use ic_net::Topology;
+    use ic_storage::TableId;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, TableId, TableId) {
+        let cat = Catalog::new(Topology::with_backups(4, 1));
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]);
+        let part = cat
+            .create_table(
+                "t",
+                schema.clone(),
+                vec![0],
+                TableDistribution::HashPartitioned { key_cols: vec![0] },
+            )
+            .unwrap();
+        let repl = cat.create_table("r", schema, vec![0], TableDistribution::Replicated).unwrap();
+        (cat, part, repl)
+    }
+
+    fn key_eq(id: i64) -> Expr {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Col(0)),
+            right: Box::new(Expr::Lit(Datum::Int(id))),
+        }
+    }
+
+    #[test]
+    fn keyed_delete_pins_single_partition() {
+        let (cat, part, _) = setup();
+        let plan = plan_dml(
+            &cat,
+            BoundDml { table: part, op: WriteOp::Delete { predicate: Some(key_eq(17)) } },
+        )
+        .unwrap();
+        let expected = cat
+            .membership()
+            .snapshot()
+            .partition_of_hash(Row(vec![Datum::Int(17), Datum::Null]).hash_key(&[0]));
+        assert_eq!(plan.target, DmlTarget::SinglePartition(expected));
+        assert_eq!(plan.pinned_partition(), Some(expected));
+    }
+
+    #[test]
+    fn conjunction_with_key_still_pins() {
+        let (cat, part, _) = setup();
+        let pred = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(key_eq(3)),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(Expr::Col(1)),
+                right: Box::new(Expr::Lit(Datum::Int(0))),
+            }),
+        };
+        let plan = plan_dml(
+            &cat,
+            BoundDml {
+                table: part,
+                op: WriteOp::Update {
+                    assignments: vec![(1, Expr::Lit(Datum::Int(9)))],
+                    predicate: Some(pred),
+                },
+            },
+        )
+        .unwrap();
+        assert!(matches!(plan.target, DmlTarget::SinglePartition(_)));
+    }
+
+    #[test]
+    fn non_key_predicate_scatters() {
+        let (cat, part, _) = setup();
+        let pred = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Col(1)),
+            right: Box::new(Expr::Lit(Datum::Int(5))),
+        };
+        let plan = plan_dml(
+            &cat,
+            BoundDml { table: part, op: WriteOp::Delete { predicate: Some(pred) } },
+        )
+        .unwrap();
+        assert_eq!(plan.target, DmlTarget::AllPartitions);
+        // An unpredicated delete scatters too.
+        let plan = plan_dml(
+            &cat,
+            BoundDml { table: part, op: WriteOp::Delete { predicate: None } },
+        )
+        .unwrap();
+        assert_eq!(plan.target, DmlTarget::AllPartitions);
+    }
+
+    #[test]
+    fn replicated_routes_broadcast_and_inserts_scatter() {
+        let (cat, part, repl) = setup();
+        let plan = plan_dml(
+            &cat,
+            BoundDml { table: repl, op: WriteOp::Delete { predicate: Some(key_eq(1)) } },
+        )
+        .unwrap();
+        assert_eq!(plan.target, DmlTarget::Broadcast);
+        assert_eq!(plan.pinned_partition(), None);
+        let plan = plan_dml(
+            &cat,
+            BoundDml {
+                table: part,
+                op: WriteOp::Insert { rows: vec![Row(vec![Datum::Int(1), Datum::Int(2)])] },
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.target, DmlTarget::AllPartitions);
+    }
+}

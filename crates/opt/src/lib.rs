@@ -17,10 +17,12 @@
 //!   pipeline vs. the improved two-phase pipeline with conditional
 //!   disabling of the join-reordering rules (§4.3).
 
+pub mod dml;
 pub mod hep;
 pub mod pipeline;
 pub mod rules;
 pub mod volcano;
 
+pub use dml::plan_dml;
 pub use pipeline::{optimize_query, Optimized};
 pub use volcano::VolcanoPlanner;

@@ -19,12 +19,14 @@
 
 pub mod cost;
 pub mod dist;
+pub mod dml;
 pub mod explain;
 pub mod ops;
 pub mod props;
 pub mod validate;
 
 pub use cost::{Cost, CostContext};
+pub use dml::{BoundDml, DmlPlan, DmlTarget};
 pub use dist::{DistReq, Distribution};
 pub use ops::{AggCall, AggPhase, JoinKind, LogicalPlan, PhysOp, PhysPlan, RelOp, SortKey};
 pub use props::LogicalProps;

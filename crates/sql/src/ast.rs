@@ -11,6 +11,37 @@ pub enum Statement {
     ExplainAnalyze(Query),
     CreateTable(CreateTable),
     CreateIndex(CreateIndex),
+    /// INSERT INTO t [(cols)] VALUES (…), …
+    Insert(InsertStmt),
+    /// UPDATE t SET col = expr, … [WHERE pred]
+    Update(UpdateStmt),
+    /// DELETE FROM t [WHERE pred]
+    Delete(DeleteStmt),
+}
+
+/// INSERT INTO name [(columns)] VALUES (exprs), …
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    /// Explicit column list; empty = full table-schema order.
+    pub columns: Vec<String>,
+    /// One expression row per VALUES tuple.
+    pub values: Vec<Vec<AstExpr>>,
+}
+
+/// UPDATE name SET col = expr, … [WHERE pred]
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: String,
+    pub sets: Vec<(String, AstExpr)>,
+    pub predicate: Option<AstExpr>,
+}
+
+/// DELETE FROM name [WHERE pred]
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub predicate: Option<AstExpr>,
 }
 
 /// CREATE TABLE name (col type, ..., PRIMARY KEY (cols))

@@ -23,8 +23,9 @@
 use crate::ast::*;
 use ic_common::agg::AggFunc;
 use ic_common::{dates, BinOp, DataType, Datum, Expr, FuncKind, IcError, IcResult, Row};
+use ic_plan::dml::BoundDml;
 use ic_plan::ops::{AggCall, JoinKind, LogicalPlan, RelOp, SortKey};
-use ic_storage::Catalog;
+use ic_storage::{Catalog, TableDef, TableDistribution, WriteOp};
 use std::sync::Arc;
 
 /// A bound query: the logical plan plus its output column names.
@@ -37,6 +38,18 @@ pub struct Bound {
 /// Bind a parsed query against the catalog.
 pub fn bind_statement(query: &Query, catalog: &Catalog) -> IcResult<Bound> {
     Binder { catalog }.bind_query(query)
+}
+
+/// Bind a parsed DML statement: resolve the table, type-check values and
+/// assignments, and produce the typed write op the optimizer routes.
+pub fn bind_dml(stmt: &Statement, catalog: &Catalog) -> IcResult<BoundDml> {
+    let b = Binder { catalog };
+    match stmt {
+        Statement::Insert(i) => b.bind_insert(i),
+        Statement::Update(u) => b.bind_update(u),
+        Statement::Delete(d) => b.bind_delete(d),
+        _ => Err(IcError::Internal("bind_dml called on a non-DML statement".into())),
+    }
 }
 
 /// Name scope: flattened `(qualifier, column)` pairs whose positions are
@@ -826,6 +839,159 @@ impl<'a> Binder<'a> {
         }
     }
 
+    // ------------------------------------------------------------- DML
+
+    fn resolve_dml_table(&self, name: &str) -> IcResult<TableDef> {
+        let id = self
+            .catalog
+            .table_by_name(name)
+            .ok_or_else(|| IcError::Bind(format!("unknown table '{name}'")))?;
+        self.catalog.table_def(id).ok_or_else(|| {
+            IcError::Internal(format!("catalog resolved '{name}' to {id:?} without a definition"))
+        })
+    }
+
+    fn dml_scope(def: &TableDef) -> Scope {
+        let names: Vec<String> = def.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let mut scope = Scope::default();
+        scope.add_table(&def.name, &names);
+        scope
+    }
+
+    /// Coerce a constant to a column's declared type (the small lattice
+    /// INSERT needs: exact match, NULL anywhere, INT widening to DOUBLE,
+    /// and date-shaped strings into DATE columns).
+    fn coerce_to_column(value: Datum, want: DataType, col: &str) -> IcResult<Datum> {
+        if value.is_null() {
+            return Ok(value);
+        }
+        match (value.data_type(), want) {
+            (Some(have), want) if have == want => Ok(value),
+            (Some(DataType::Int), DataType::Double) => match value {
+                Datum::Int(i) => Ok(Datum::Double(i as f64)),
+                _ => Err(IcError::Internal("int datum of non-int shape".into())),
+            },
+            (Some(DataType::Str), DataType::Date) => match &value {
+                Datum::Str(s) => dates::parse_date(s).map(Datum::Date).ok_or_else(|| {
+                    IcError::Bind(format!("cannot coerce '{s}' to DATE for column '{col}'"))
+                }),
+                _ => Err(IcError::Internal("str datum of non-str shape".into())),
+            },
+            (have, want) => Err(IcError::Bind(format!(
+                "type mismatch for column '{col}': expected {want:?}, got {have:?}"
+            ))),
+        }
+    }
+
+    fn bind_insert(&self, stmt: &InsertStmt) -> IcResult<BoundDml> {
+        let def = self.resolve_dml_table(&stmt.table)?;
+        let arity = def.schema.arity();
+        let positions: Vec<usize> = if stmt.columns.is_empty() {
+            (0..arity).collect()
+        } else {
+            let mut seen = vec![false; arity];
+            let mut pos = Vec::with_capacity(stmt.columns.len());
+            for c in &stmt.columns {
+                let i = def.schema.index_of(c).ok_or_else(|| {
+                    IcError::Bind(format!("unknown column '{c}' in table '{}'", def.name))
+                })?;
+                if seen[i] {
+                    return Err(IcError::Bind(format!("column '{c}' listed twice in INSERT")));
+                }
+                seen[i] = true;
+                pos.push(i);
+            }
+            pos
+        };
+        // Key columns must be supplied: a row without its distribution key
+        // cannot be routed, and a row without its primary key cannot be
+        // upserted deterministically.
+        for &k in &def.primary_key {
+            if !positions.contains(&k) {
+                return Err(IcError::Bind(format!(
+                    "INSERT must supply primary-key column '{}'",
+                    def.schema.field(k).name
+                )));
+            }
+        }
+        let empty_scope = Scope::default();
+        let mut rows = Vec::with_capacity(stmt.values.len());
+        for tuple in &stmt.values {
+            if tuple.len() != positions.len() {
+                return Err(IcError::Bind(format!(
+                    "INSERT expects {} value(s) per row, got {}",
+                    positions.len(),
+                    tuple.len()
+                )));
+            }
+            let mut row = vec![Datum::Null; arity];
+            for (expr, &i) in tuple.iter().zip(&positions) {
+                let bound = self.bind_scalar(expr, &empty_scope, &[], 0)?;
+                let Expr::Lit(value) = bound else {
+                    return Err(IcError::Bind(
+                        "INSERT values must be constant expressions".into(),
+                    ));
+                };
+                row[i] = Self::coerce_to_column(
+                    value,
+                    def.schema.field(i).dtype,
+                    &def.schema.field(i).name,
+                )?;
+            }
+            rows.push(Row(row));
+        }
+        Ok(BoundDml { table: def.id, op: WriteOp::Insert { rows } })
+    }
+
+    fn bind_update(&self, stmt: &UpdateStmt) -> IcResult<BoundDml> {
+        let def = self.resolve_dml_table(&stmt.table)?;
+        let scope = Self::dml_scope(&def);
+        let key_cols: &[usize] = match &def.distribution {
+            TableDistribution::HashPartitioned { key_cols } => key_cols,
+            TableDistribution::Replicated => &[],
+        };
+        let mut assignments = Vec::with_capacity(stmt.sets.len());
+        let mut assigned = vec![false; def.schema.arity()];
+        for (name, expr) in &stmt.sets {
+            let col = scope.resolve(&None, name)?;
+            if assigned[col] {
+                return Err(IcError::Bind(format!("column '{name}' assigned twice in UPDATE")));
+            }
+            assigned[col] = true;
+            if def.primary_key.contains(&col) || key_cols.contains(&col) {
+                // Updating a key would move the row across partitions /
+                // change its identity — Ignite rejects this too.
+                return Err(IcError::Unsupported(format!(
+                    "cannot UPDATE key column '{name}'"
+                )));
+            }
+            let bound = self.bind_scalar(expr, &scope, &[], def.schema.arity())?;
+            if let Expr::Lit(v) = &bound {
+                let coerced = Self::coerce_to_column(
+                    v.clone(),
+                    def.schema.field(col).dtype,
+                    &def.schema.field(col).name,
+                )?;
+                assignments.push((col, Expr::Lit(coerced)));
+            } else {
+                assignments.push((col, bound));
+            }
+        }
+        let predicate =
+            stmt.predicate.as_ref().map(|p| self.bind_scalar(p, &scope, &[], def.schema.arity()))
+                .transpose()?;
+        Ok(BoundDml { table: def.id, op: WriteOp::Update { assignments, predicate } })
+    }
+
+    fn bind_delete(&self, stmt: &DeleteStmt) -> IcResult<BoundDml> {
+        let def = self.resolve_dml_table(&stmt.table)?;
+        let scope = Self::dml_scope(&def);
+        let predicate =
+            stmt.predicate.as_ref().map(|p| self.bind_scalar(p, &scope, &[], def.schema.arity()))
+                .transpose()?;
+        Ok(BoundDml { table: def.id, op: WriteOp::Delete { predicate } })
+    }
+
     // ------------------------------------------------------------- scalars
 
     /// Bind a scalar expression over `scope`. `plan_arity` is the arity of
@@ -1367,5 +1533,70 @@ mod tests {
         assert_eq!(data_type_of("decimal").unwrap(), DataType::Double);
         assert_eq!(data_type_of("VARCHAR").unwrap(), DataType::Str);
         assert!(data_type_of("blob").is_err());
+    }
+
+    fn bind_dml_sql(sql: &str) -> IcResult<BoundDml> {
+        bind_dml(&parse_sql(sql)?, &catalog())
+    }
+
+    #[test]
+    fn insert_binds_rows_in_column_list_order() {
+        let b = bind_dml_sql(
+            "INSERT INTO part (p_size, p_partkey, p_name) VALUES (9, 1, 'bolt')",
+        )
+        .unwrap();
+        let ic_storage::WriteOp::Insert { rows } = &b.op else {
+            panic!("expected insert op")
+        };
+        // Values land at schema positions, not list positions.
+        assert_eq!(rows[0].0[0], Datum::Int(1));
+        assert_eq!(rows[0].0[2], Datum::Int(9));
+    }
+
+    #[test]
+    fn insert_coerces_int_literal_to_double_column() {
+        let b = bind_dml_sql(
+            "INSERT INTO orders (o_orderkey, o_custkey, o_orderdate, o_totalprice) \
+             VALUES (1, 2, DATE '1995-01-01', 10)",
+        )
+        .unwrap();
+        let ic_storage::WriteOp::Insert { rows } = &b.op else {
+            panic!("expected insert op")
+        };
+        assert_eq!(rows[0].0[3], Datum::Double(10.0));
+    }
+
+    #[test]
+    fn insert_without_primary_key_rejected() {
+        let err = bind_dml_sql("INSERT INTO part (p_name) VALUES ('bolt')").unwrap_err();
+        assert!(matches!(err, IcError::Bind(_)), "{err:?}");
+        let err =
+            bind_dml_sql("INSERT INTO part (p_partkey, p_partkey) VALUES (1, 1)").unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        let err = bind_dml_sql("INSERT INTO part (p_partkey, p_name) VALUES (1)").unwrap_err();
+        assert!(err.to_string().contains("value(s) per row"), "{err}");
+    }
+
+    #[test]
+    fn update_key_column_rejected() {
+        let err = bind_dml_sql("UPDATE part SET p_partkey = 2 WHERE p_size = 1").unwrap_err();
+        assert!(matches!(err, IcError::Unsupported(_)), "{err:?}");
+        let b = bind_dml_sql("UPDATE part SET p_size = p_size + 1 WHERE p_partkey = 1").unwrap();
+        let ic_storage::WriteOp::Update { assignments, predicate } = &b.op else {
+            panic!("expected update op")
+        };
+        assert_eq!(assignments.len(), 1);
+        assert!(predicate.is_some());
+    }
+
+    #[test]
+    fn delete_predicate_binds_over_table_scope() {
+        let b = bind_dml_sql("DELETE FROM lineitem WHERE l_quantity > 5").unwrap();
+        let ic_storage::WriteOp::Delete { predicate } = &b.op else {
+            panic!("expected delete op")
+        };
+        assert!(predicate.is_some());
+        let err = bind_dml_sql("DELETE FROM lineitem WHERE no_such_col = 1").unwrap_err();
+        assert!(matches!(err, IcError::Bind(_)), "{err:?}");
     }
 }

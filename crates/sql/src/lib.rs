@@ -18,6 +18,6 @@ pub mod lexer;
 pub mod parser;
 pub mod unparse;
 
-pub use binder::{bind_statement, data_type_of, Bound};
+pub use binder::{bind_dml, bind_statement, data_type_of, Bound};
 pub use parser::parse_sql;
 pub use unparse::unparse;

@@ -114,7 +114,72 @@ impl Parser {
             }
             return Err(IcError::Parse(format!("unsupported CREATE {:?}", self.peek())));
         }
+        if self.eat_kw("insert") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("update") {
+            return self.parse_update();
+        }
+        if self.eat_kw("delete") {
+            return self.parse_delete();
+        }
         Ok(Statement::Query(self.parse_query()?))
+    }
+
+    fn parse_insert(&mut self) -> IcResult<Statement> {
+        self.expect_kw("into")?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        if self.peek().ident() == Some("select") {
+            return Err(IcError::Unsupported("INSERT … SELECT is not supported".into()));
+        }
+        self.expect_kw("values")?;
+        let mut values = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = vec![self.parse_expr()?];
+            while self.eat_sym(",") {
+                row.push(self.parse_expr()?);
+            }
+            self.expect_sym(")")?;
+            values.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert(InsertStmt { table, columns, values }))
+    }
+
+    fn parse_update(&mut self) -> IcResult<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_sym("=")?;
+            sets.push((col, self.parse_expr()?));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update(UpdateStmt { table, sets, predicate }))
+    }
+
+    fn parse_delete(&mut self) -> IcResult<Statement> {
+        self.expect_kw("from")?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete(DeleteStmt { table, predicate }))
     }
 
     fn parse_create_table(&mut self) -> IcResult<Statement> {
@@ -771,5 +836,59 @@ mod tests {
             query.where_clause,
             Some(AstExpr::Between { negated: false, .. })
         ));
+    }
+
+    #[test]
+    fn insert_multi_row_with_column_list() {
+        let Statement::Insert(i) =
+            parse_sql("INSERT INTO t (k, v) VALUES (1, 10), (2, 2 + 20)").unwrap()
+        else {
+            panic!("expected insert")
+        };
+        assert_eq!(i.table, "t");
+        assert_eq!(i.columns, vec!["k", "v"]);
+        assert_eq!(i.values.len(), 2);
+        assert_eq!(i.values[1].len(), 2);
+    }
+
+    #[test]
+    fn insert_without_column_list_means_schema_order() {
+        let Statement::Insert(i) = parse_sql("INSERT INTO t VALUES (1, 'x')").unwrap() else {
+            panic!("expected insert")
+        };
+        assert!(i.columns.is_empty());
+        assert_eq!(i.values.len(), 1);
+    }
+
+    #[test]
+    fn insert_select_unsupported() {
+        let err = parse_sql("INSERT INTO t (k) SELECT a FROM s").unwrap_err();
+        assert!(matches!(err, IcError::Unsupported(_)), "{err:?}");
+    }
+
+    #[test]
+    fn update_multi_set_with_predicate() {
+        let Statement::Update(u) =
+            parse_sql("UPDATE t SET v = v + 1, w = 'x' WHERE k < 10").unwrap()
+        else {
+            panic!("expected update")
+        };
+        assert_eq!(u.table, "t");
+        assert_eq!(u.sets.len(), 2);
+        assert_eq!(u.sets[0].0, "v");
+        assert!(u.predicate.is_some());
+    }
+
+    #[test]
+    fn delete_with_and_without_predicate() {
+        let Statement::Delete(d) = parse_sql("DELETE FROM t WHERE k = 3").unwrap() else {
+            panic!("expected delete")
+        };
+        assert_eq!(d.table, "t");
+        assert!(d.predicate.is_some());
+        let Statement::Delete(d) = parse_sql("DELETE FROM t").unwrap() else {
+            panic!("expected delete")
+        };
+        assert!(d.predicate.is_none());
     }
 }

@@ -4,7 +4,7 @@ use crate::index::Index;
 use crate::stats::TableStats;
 use crate::table::TableData;
 use ic_common::{IcError, IcResult, Row, Schema};
-use ic_net::{SiteId, Topology};
+use ic_net::{Membership, SiteId, Topology};
 use parking_lot::RwLock;
 use ic_common::hash::{FxHashMap, FxHashSet};
 use std::fmt;
@@ -73,6 +73,10 @@ struct IndexEntry {
 /// indexes. Shared (`Arc`) by every simulated site.
 pub struct Catalog {
     topology: Topology,
+    /// Elastic membership: the live replica map queries and writes route
+    /// by. Seeded from `topology` and mutated by the rebalance controller
+    /// as sites join, leave, and fail.
+    membership: Arc<Membership>,
     tables: RwLock<Vec<TableEntry>>,
     table_names: RwLock<FxHashMap<String, TableId>>,
     indexes: RwLock<Vec<IndexEntry>>,
@@ -80,16 +84,28 @@ pub struct Catalog {
 
 impl Catalog {
     pub fn new(topology: Topology) -> Arc<Catalog> {
+        let membership = Arc::new(Membership::from_topology(&topology));
         Arc::new(Catalog {
             topology,
+            membership,
             tables: RwLock::named(Vec::new(), "catalog.tables"),
             table_names: RwLock::named(FxHashMap::default(), "catalog.table_names"),
             indexes: RwLock::named(Vec::new(), "catalog.indexes"),
         })
     }
 
+    /// The boot topology: fixes the partition count and the simulated
+    /// network size. Ownership questions should go to
+    /// [`membership`](Self::membership), which stays current under
+    /// join/leave/failure.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The elastic replica map shared by planner, executor and the
+    /// rebalance controller.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
     }
 
     /// CREATE TABLE.
@@ -107,9 +123,16 @@ impl Catalog {
         }
         let mut tables = self.tables.write();
         let id = TableId(tables.len());
-        let partitions = match distribution {
-            TableDistribution::HashPartitioned { .. } => self.topology.num_partitions(),
-            TableDistribution::Replicated => 1,
+        let map = self.membership.snapshot();
+        let owners: Vec<Vec<SiteId>> = match distribution {
+            TableDistribution::HashPartitioned { .. } => {
+                (0..map.num_partitions()).map(|p| map.owners_of(p).to_vec()).collect()
+            }
+            // One logical copy; the hosting key is nominal (reads take the
+            // authoritative store, writes broadcast to all members).
+            TableDistribution::Replicated => {
+                vec![vec![map.members().first().copied().unwrap_or(SiteId(0))]]
+            }
         };
         let def = TableDef {
             id,
@@ -120,7 +143,7 @@ impl Catalog {
         };
         tables.push(TableEntry {
             def,
-            data: Arc::new(TableData::new(partitions, schema)),
+            data: Arc::new(TableData::new_with_owners(schema, &owners)),
             stats: Arc::new(TableStats::empty()),
             indexes: Vec::new(),
         });
@@ -246,9 +269,25 @@ impl Catalog {
     }
 
     /// All sites holding a copy of `partition` (primary first, then the
-    /// topology's backup replicas) — Ignite's affinity function.
+    /// backup replicas) — Ignite's affinity function, read from the live
+    /// membership map so promotions and migrations are reflected.
     pub fn partition_owners(&self, partition: usize) -> Vec<SiteId> {
-        self.topology.owners_of_partition(partition)
+        self.membership.snapshot().owners_of(partition).to_vec()
+    }
+
+    /// Fold a committed write into the table's statistics without a full
+    /// ANALYZE: exact row-count deltas, min/max widened by inserted values,
+    /// NDV adjusted by bounded estimates. Keeps the Volcano cost model
+    /// honest while writes stream in; `analyze` still computes exact stats.
+    pub fn note_write(&self, table: TableId, inserted: &[Row], deleted: usize) {
+        if inserted.is_empty() && deleted == 0 {
+            return;
+        }
+        let mut tables = self.tables.write();
+        let Some(entry) = tables.get_mut(table.0) else {
+            return;
+        };
+        entry.stats = Arc::new(entry.stats.noting_write(inserted, deleted));
     }
 
     /// Resolve `partition` to a live owner, skipping sites in `down`.

@@ -12,8 +12,10 @@ pub mod catalog;
 pub mod index;
 pub mod stats;
 pub mod table;
+pub mod write;
 
 pub use catalog::{Catalog, IndexDef, IndexId, TableDef, TableDistribution, TableId};
 pub use index::Index;
 pub use stats::{ColumnStats, TableStats};
-pub use table::TableData;
+pub use table::{PartStore, TableData};
+pub use write::{execute_dml, WriteOp, WriteOutcome};

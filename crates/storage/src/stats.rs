@@ -4,8 +4,8 @@
 //! fractions (used by selectivity estimation).
 
 use crate::table::TableData;
-use ic_common::Datum;
 use ic_common::hash::FxHashSet;
+use ic_common::{Datum, Row};
 
 /// Statistics for one column.
 #[derive(Debug, Clone)]
@@ -76,6 +76,58 @@ impl TableStats {
     pub fn ndv(&self, col: usize) -> u64 {
         self.columns.get(col).map(|c| c.ndv).unwrap_or(self.row_count).max(1)
     }
+
+    /// Incrementally fold a committed write batch into these stats. Exact
+    /// where cheap (row count, null counts, min/max widening on inserts),
+    /// bounded estimates where exactness would need a full pass (NDV grows
+    /// by at most the inserted count and never exceeds the row count;
+    /// deletes shrink it proportionally). `analyze` remains the exact
+    /// recomputation.
+    pub fn noting_write(&self, inserted: &[Row], deleted: usize) -> TableStats {
+        let mut s = self.clone();
+        if let Some(first) = inserted.first() {
+            if s.columns.is_empty() {
+                s.columns = first
+                    .0
+                    .iter()
+                    .map(|_| ColumnStats { ndv: 0, null_count: 0, min: None, max: None })
+                    .collect();
+            }
+        }
+        let old_count = s.row_count.max(1);
+        let new_count =
+            (s.row_count + inserted.len() as u64).saturating_sub(deleted as u64);
+        let mut added_non_null = vec![0u64; s.columns.len()];
+        for row in inserted {
+            for (c, v) in row.0.iter().enumerate() {
+                let Some(col) = s.columns.get_mut(c) else {
+                    continue;
+                };
+                if v.is_null() {
+                    col.null_count += 1;
+                    continue;
+                }
+                added_non_null[c] += 1;
+                if col.min.as_ref().is_none_or(|m| v < m) {
+                    col.min = Some(v.clone());
+                }
+                if col.max.as_ref().is_none_or(|m| v > m) {
+                    col.max = Some(v.clone());
+                }
+            }
+        }
+        for (c, col) in s.columns.iter_mut().enumerate() {
+            if deleted > 0 {
+                let scaled = (col.ndv as f64 * new_count as f64 / old_count as f64).round();
+                col.ndv = scaled as u64;
+                col.null_count =
+                    (col.null_count as f64 * new_count as f64 / old_count as f64).round() as u64;
+            }
+            col.ndv = (col.ndv + added_non_null[c]).min(new_count);
+        }
+        s.row_count = new_count;
+        s
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +160,29 @@ mod tests {
         assert_eq!(s.columns[1].null_count, 1);
         assert_eq!(s.columns[0].min, Some(Datum::Int(1)));
         assert_eq!(s.columns[0].max, Some(Datum::Int(3)));
+    }
+
+    #[test]
+    fn incremental_write_folding() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let data = TableData::new(1, schema);
+        data.insert_into_partition(0, (0..10).map(|i| Row(vec![Datum::Int(i)])).collect());
+        let s = TableStats::compute(&data);
+        // Insert widens min/max and grows count/ndv.
+        let s2 = s.noting_write(&[Row(vec![Datum::Int(50)]), Row(vec![Datum::Null])], 0);
+        assert_eq!(s2.row_count, 12);
+        assert_eq!(s2.columns[0].max, Some(Datum::Int(50)));
+        assert_eq!(s2.columns[0].min, Some(Datum::Int(0)));
+        assert_eq!(s2.columns[0].null_count, 1);
+        assert_eq!(s2.columns[0].ndv, 11);
+        // Delete shrinks count and scales ndv down, capped by row count.
+        let s3 = s2.noting_write(&[], 6);
+        assert_eq!(s3.row_count, 6);
+        assert!(s3.columns[0].ndv <= 6);
+        // Writes against unanalyzed stats bootstrap the column vector.
+        let s4 = TableStats::empty().noting_write(&[Row(vec![Datum::Int(1)])], 0);
+        assert_eq!(s4.row_count, 1);
+        assert_eq!(s4.columns[0].ndv, 1);
     }
 
     #[test]

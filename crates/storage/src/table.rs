@@ -1,27 +1,83 @@
-//! Per-partition row storage.
+//! Per-partition, per-replica row storage.
 //!
-//! OLAP workloads load data once and then scan it; storage is therefore a
-//! simple append-only vector per partition behind an `RwLock`, giving
-//! lock-free-ish concurrent scans from every fragment thread.
+//! PR-1..8 stored one physical copy per partition and treated backups as a
+//! plan-time fiction. With online DML each partition now keeps one
+//! [`PartStore`] *per owner site* (primary + backups), so a backup really
+//! holds the data it may be promoted to serve. A store is an immutable
+//! snapshot: rows plus a parallel per-row version column, stamped with the
+//! partition version that produced it. Writers build a new store and swap it
+//! in under the partition's write mutex; readers clone the `Arc` and scan a
+//! frozen snapshot, so a multi-row DML batch is visible all-or-nothing
+//! (no torn reads) and scans never block writes.
 
+use ic_common::hash::FxHashMap;
 use ic_common::{Row, Schema};
-use parking_lot::RwLock;
+use ic_net::SiteId;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::sync::Arc;
 
+/// One replica's frozen snapshot of a partition: the rows, a parallel
+/// per-row version column (the partition version that last wrote each row),
+/// and the partition version counter itself.
+#[derive(Debug, Clone, Default)]
+pub struct PartStore {
+    /// Partition version: bumps once per committed write batch.
+    pub version: u64,
+    pub rows: Arc<Vec<Row>>,
+    /// Per-row: the partition version that inserted/last-updated the row.
+    pub row_versions: Arc<Vec<u64>>,
+}
+
+impl PartStore {
+    fn empty() -> PartStore {
+        PartStore::default()
+    }
+}
+
+/// One partition: its replica stores keyed by hosting site, plus the write
+/// mutex that serializes writers (readers never take it).
+struct Partition {
+    replicas: RwLock<FxHashMap<usize, PartStore>>,
+    write_lock: Mutex<()>,
+}
+
+impl Partition {
+    fn hosted_on(sites: &[SiteId]) -> Partition {
+        let mut replicas = FxHashMap::default();
+        for s in sites {
+            replicas.insert(s.0, PartStore::empty());
+        }
+        Partition {
+            replicas: RwLock::named(replicas, "table.replicas"),
+            write_lock: Mutex::named((), "table.write"),
+        }
+    }
+}
+
 /// The rows of one table, split into hash partitions (one partition for
-/// replicated tables).
+/// replicated tables), each replicated onto its owner sites.
 pub struct TableData {
     schema: Schema,
-    partitions: Vec<RwLock<Arc<Vec<Row>>>>,
+    partitions: Vec<Partition>,
 }
 
 impl TableData {
+    /// Single-replica layout with partition `p` hosted on site `p` — the
+    /// unit-test convenience constructor. Production tables are created via
+    /// [`new_with_owners`](Self::new_with_owners) from the membership map.
     pub fn new(num_partitions: usize, schema: Schema) -> TableData {
+        let owners: Vec<Vec<SiteId>> =
+            (0..num_partitions.max(1)).map(|p| vec![SiteId(p)]).collect();
+        TableData::new_with_owners(schema, &owners)
+    }
+
+    /// Layout with each partition hosted on the given owner sites (primary
+    /// first, then backups), as decided by the membership replica map.
+    pub fn new_with_owners(schema: Schema, owners: &[Vec<SiteId>]) -> TableData {
+        assert!(!owners.is_empty(), "a table needs at least one partition");
         TableData {
             schema,
-            partitions: (0..num_partitions.max(1))
-                .map(|_| RwLock::new(Arc::new(Vec::new())))
-                .collect(),
+            partitions: owners.iter().map(|sites| Partition::hosted_on(sites)).collect(),
         }
     }
 
@@ -33,17 +89,43 @@ impl TableData {
         self.partitions.len()
     }
 
-    /// Append rows to a partition.
+    /// Append rows to every replica of a partition (bulk load: all copies
+    /// advance together, no replication traffic is simulated).
     pub fn insert_into_partition(&self, partition: usize, rows: Vec<Row>) {
-        let mut guard = self.partitions[partition].write();
-        let data = Arc::make_mut(&mut guard);
-        data.extend(rows);
+        let part = &self.partitions[partition];
+        let _w = part.write_lock.lock();
+        let mut replicas = part.replicas.write();
+        for store in replicas.values_mut() {
+            let version = store.version + 1;
+            let mut new_rows = (*store.rows).clone();
+            let mut new_versions = (*store.row_versions).clone();
+            new_rows.extend(rows.iter().cloned());
+            new_versions.resize(new_rows.len(), version);
+            *store = PartStore {
+                version,
+                rows: Arc::new(new_rows),
+                row_versions: Arc::new(new_versions),
+            };
+        }
+    }
+
+    /// The authoritative store of a partition: the highest-version replica
+    /// (all replicas agree when the partition is healthy). Used by stats,
+    /// index builds, and tests; the execution path reads a specific site's
+    /// replica via [`replica`](Self::replica).
+    pub fn store(&self, partition: usize) -> PartStore {
+        let replicas = self.partitions[partition].replicas.read();
+        replicas
+            .values()
+            .max_by_key(|s| s.version)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Snapshot of one partition's rows (cheap Arc clone; scans iterate the
     /// shared vector without copying rows).
     pub fn partition(&self, partition: usize) -> Arc<Vec<Row>> {
-        self.partitions[partition].read().clone()
+        self.store(partition).rows
     }
 
     /// Snapshot of several partitions.
@@ -51,17 +133,78 @@ impl TableData {
         parts.iter().map(|&p| self.partition(p)).collect()
     }
 
-    /// Total rows across all partitions.
+    /// The replica of `partition` hosted on `site`, if that site holds one.
+    /// `None` means ownership moved (or is moving) — callers surface
+    /// `RebalanceInProgress` and retry against a fresh assignment.
+    pub fn replica(&self, partition: usize, site: SiteId) -> Option<PartStore> {
+        self.partitions[partition].replicas.read().get(&site.0).cloned()
+    }
+
+    /// Sites currently holding a replica of `partition`, ascending.
+    pub fn replica_sites(&self, partition: usize) -> Vec<SiteId> {
+        let mut sites: Vec<usize> =
+            self.partitions[partition].replicas.read().keys().copied().collect();
+        sites.sort_unstable();
+        sites.into_iter().map(SiteId).collect()
+    }
+
+    /// Install (or overwrite) a replica of `partition` on `site` — the
+    /// final step of re-replication and chunked migration.
+    pub fn install_replica(&self, partition: usize, site: SiteId, store: PartStore) {
+        self.partitions[partition].replicas.write().insert(site.0, store);
+    }
+
+    /// Drop `site`'s replica of `partition` (graceful leave / post-migration
+    /// cleanup).
+    pub fn drop_replica(&self, partition: usize, site: SiteId) {
+        self.partitions[partition].replicas.write().remove(&site.0);
+    }
+
+    /// Serialize writers of `partition`. Readers never take this lock; they
+    /// snapshot whatever store is committed.
+    pub fn write_guard(&self, partition: usize) -> MutexGuard<'_, ()> {
+        self.partitions[partition].write_lock.lock()
+    }
+
+    /// Commit a new store to the listed replica sites of `partition`,
+    /// provided every one of them is still at `expected_version` (the
+    /// version the write was prepared against). On a mismatch nothing is
+    /// changed and the diverging version is returned. Callers must hold the
+    /// partition's [`write_guard`](Self::write_guard).
+    pub fn commit(
+        &self,
+        partition: usize,
+        sites: &[SiteId],
+        expected_version: u64,
+        store: PartStore,
+    ) -> Result<(), u64> {
+        let mut replicas = self.partitions[partition].replicas.write();
+        for s in sites {
+            match replicas.get(&s.0) {
+                Some(r) if r.version == expected_version => {}
+                Some(r) => return Err(r.version),
+                // A replica vanished mid-write: ownership moved. Report the
+                // new store's version as "found" so the caller retries.
+                None => return Err(store.version),
+            }
+        }
+        for s in sites {
+            replicas.insert(s.0, store.clone());
+        }
+        Ok(())
+    }
+
+    /// Total rows across all partitions (authoritative replicas).
     pub fn total_rows(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().len()).sum()
+        (0..self.partitions.len()).map(|p| self.partition(p).len()).sum()
     }
 
     /// Iterate all rows (test/stats helper; production scans go
     /// per-partition).
     pub fn all_rows(&self) -> Vec<Row> {
         let mut out = Vec::with_capacity(self.total_rows());
-        for p in &self.partitions {
-            out.extend(p.read().iter().cloned());
+        for p in 0..self.partitions.len() {
+            out.extend(self.partition(p).iter().cloned());
         }
         out
     }
@@ -112,5 +255,52 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 100);
         }
+    }
+
+    #[test]
+    fn replicas_advance_together_on_bulk_load() {
+        let t = TableData::new_with_owners(schema(), &[vec![SiteId(0), SiteId(1)]]);
+        t.insert_into_partition(0, vec![Row(vec![Datum::Int(7)])]);
+        let primary = t.replica(0, SiteId(0)).unwrap();
+        let backup = t.replica(0, SiteId(1)).unwrap();
+        assert_eq!(primary.version, 1);
+        assert_eq!(backup.version, 1);
+        assert_eq!(primary.rows.len(), 1);
+        assert_eq!(backup.rows.len(), 1);
+        assert_eq!(*primary.row_versions, vec![1]);
+        assert!(t.replica(0, SiteId(2)).is_none());
+        assert_eq!(t.replica_sites(0), vec![SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn commit_is_version_checked() {
+        let t = TableData::new_with_owners(schema(), &[vec![SiteId(0), SiteId(1)]]);
+        t.insert_into_partition(0, vec![Row(vec![Datum::Int(1)])]);
+        let base = t.replica(0, SiteId(0)).unwrap();
+        let next = PartStore {
+            version: base.version + 1,
+            rows: Arc::new(vec![Row(vec![Datum::Int(1)]), Row(vec![Datum::Int(2)])]),
+            row_versions: Arc::new(vec![base.version, base.version + 1]),
+        };
+        let sites = [SiteId(0), SiteId(1)];
+        let _g = t.write_guard(0);
+        assert_eq!(t.commit(0, &sites, base.version, next.clone()), Ok(()));
+        assert_eq!(t.replica(0, SiteId(1)).unwrap().version, base.version + 1);
+        // Committing against the stale base version is refused.
+        assert_eq!(t.commit(0, &sites, base.version, next.clone()), Err(base.version + 1));
+    }
+
+    #[test]
+    fn install_and_drop_replica() {
+        let t = TableData::new_with_owners(schema(), &[vec![SiteId(0)]]);
+        t.insert_into_partition(0, vec![Row(vec![Datum::Int(1)])]);
+        let copy = t.replica(0, SiteId(0)).unwrap();
+        t.install_replica(0, SiteId(3), copy);
+        assert_eq!(t.replica_sites(0), vec![SiteId(0), SiteId(3)]);
+        assert_eq!(t.replica(0, SiteId(3)).unwrap().rows.len(), 1);
+        t.drop_replica(0, SiteId(0));
+        assert_eq!(t.replica_sites(0), vec![SiteId(3)]);
+        // The surviving replica is now the authoritative store.
+        assert_eq!(t.partition(0).len(), 1);
     }
 }

@@ -48,3 +48,30 @@ fn all_regression_fixtures_replay_green() {
         }
     }
 }
+
+/// DML-fuzz regressions: the governing seeds whose minimized streams
+/// exposed real write-path bugs, replayed through the write-aware oracle
+/// on every `cargo test` so the fixes stay fixed.
+///
+/// * seed 57 — a retried multi-partition DELETE legally undercounts
+///   `rows_affected` (per-partition-batch atomicity); pinned the oracle's
+///   retry-aware count semantics.
+/// * seed 59 — a DELETE acked while its only surviving copy sat on a
+///   site about to die (degraded replication window), then a stale
+///   revived replica resurrected the deleted row; fixed by the
+///   replication floor (no ack below `min(backups+1, live_members)`
+///   confirmed copies) and resync-or-demote at every down→alive
+///   transition.
+#[test]
+fn dml_regression_seeds_replay_green() {
+    use ic_fuzz::{run_dml_scenario, DmlScenario};
+    for seed in [57u64, 59] {
+        let outcome = run_dml_scenario(&DmlScenario::from_seed(seed));
+        if let Some(d) = &outcome.disagreement {
+            panic!(
+                "DML regression seed {seed} failed — replay with \
+                 `cargo run -p ic-fuzz -- --dml-replay {seed}`:\n{d}"
+            );
+        }
+    }
+}
