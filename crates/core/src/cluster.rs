@@ -77,6 +77,11 @@ pub struct ClusterConfig {
     /// Resource-governor sizing: admission slots, wait-queue bound, and
     /// the shared memory-pool budget all queries lease from.
     pub governor: GovernorConfig,
+    /// Morsel-pool workers per site (intra-fragment parallelism degree);
+    /// 0 disables pooled execution (pre-morsel sequential runtime).
+    pub worker_threads: usize,
+    /// Rows per morsel (work-stealing granule).
+    pub morsel_rows: usize,
 }
 
 impl Default for ClusterConfig {
@@ -92,12 +97,17 @@ impl Default for ClusterConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
             governor: GovernorConfig::default(),
+            worker_threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+            morsel_rows: ic_exec::DEFAULT_MORSEL_ROWS,
         }
     }
 }
 
 impl ClusterConfig {
-    /// Fast configuration for unit tests: no simulated network delay.
+    /// Fast configuration for unit tests: no simulated network delay. One
+    /// pool worker per site keeps the morsel-parallel code path active
+    /// while lane order — and therefore unordered result order — stays
+    /// deterministic for golden-output comparisons.
     pub fn test_default() -> ClusterConfig {
         ClusterConfig {
             sites: 2,
@@ -110,6 +120,8 @@ impl ClusterConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(1),
             governor: GovernorConfig::test_default(),
+            worker_threads: 1,
+            morsel_rows: ic_exec::DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -158,6 +170,26 @@ impl Cluster {
         Cluster {
             config,
             flags,
+            catalog: self.catalog.clone(),
+            network,
+            governor: self.governor.clone(),
+            controller,
+        }
+    }
+
+    /// A cluster sharing this one's catalog (and loaded data) but with a
+    /// different morsel-pool sizing — the scaling sweep's axis: same data,
+    /// same plans, only the intra-fragment parallelism degree changes.
+    pub fn with_worker_threads(&self, worker_threads: usize, morsel_rows: usize) -> Cluster {
+        let mut config = self.config.clone();
+        config.worker_threads = worker_threads;
+        config.morsel_rows = morsel_rows;
+        let network = Network::new(self.config.network.clone());
+        let controller =
+            Arc::new(RebalanceController::new(self.catalog.clone(), network.clone()));
+        Cluster {
+            config,
+            flags: self.flags.clone(),
             catalog: self.catalog.clone(),
             network,
             governor: self.governor.clone(),
@@ -635,6 +667,8 @@ impl Cluster {
             pool: Some(self.governor.pool().clone()),
             trace: exec_trace.clone(),
             trace_parent: tctx.map(|(_, s)| s),
+            worker_threads: self.config.worker_threads,
+            morsel_rows: self.config.morsel_rows,
             ..ExecOptions::default()
         };
         let (rows, stats) = execute_plan(&optimized.plan, &self.catalog, &self.network, &opts)?;

@@ -12,7 +12,11 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn traced_cluster(rows: i64, groups: i64) -> Cluster {
-    let cluster = Cluster::new(ClusterConfig::test_default());
+    traced_cluster_with(ClusterConfig::test_default(), rows, groups)
+}
+
+fn traced_cluster_with(config: ClusterConfig, rows: i64, groups: i64) -> Cluster {
+    let cluster = Cluster::new(config);
     cluster
         .run("CREATE TABLE fact (id BIGINT, grp BIGINT, val BIGINT, PRIMARY KEY (id))")
         .unwrap();
@@ -87,4 +91,79 @@ proptest! {
         prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
         prop_assert!(json.starts_with("{\"traceEvents\":["));
     }
+
+    // Morsel-parallel pipelines: with a multi-worker pool and tiny morsels,
+    // region operators run as lane replicas on `worker @sN #i` lanes, and
+    // idle lanes steal morsels pre-assigned to their siblings. The span
+    // tree must stay well-formed, and every operator span recorded on a
+    // worker lane — including spans covering stolen morsels — must parent
+    // to the owning pipeline's *fragment* span, never to another worker's
+    // span or to a different fragment.
+    #[test]
+    fn morsel_parallel_spans_attribute_to_fragment(
+        rows in 1i64..600,
+        groups in 1i64..20,
+        shape in 0usize..5,
+        threads in 2usize..4,
+    ) {
+        let config = ClusterConfig {
+            worker_threads: threads,
+            morsel_rows: 128,
+            ..ClusterConfig::test_default()
+        };
+        let cluster = traced_cluster_with(config, rows, groups);
+        let sql = query_shape(shape, groups);
+        let (result, trace) = cluster.query_traced(0, &sql);
+        result.expect("traced query");
+
+        trace.validate().expect("span tree well-formed");
+        prop_assert_eq!(trace.open_spans(), 0);
+
+        let lanes = trace.lanes();
+        let spans = trace.spans();
+        let by_id: std::collections::HashMap<_, _> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        for s in &spans {
+            let lane_name = &lanes[s.lane as usize];
+            if !lane_name.starts_with("worker @") {
+                continue;
+            }
+            prop_assert_eq!(
+                s.cat, "operator",
+                "non-operator span `{}` on worker lane {}", s.name, lane_name
+            );
+            let parent = s.parent.and_then(|p| by_id.get(&p).copied());
+            let parent = parent.unwrap_or_else(|| {
+                panic!("worker-lane span `{}` has no parent", s.name)
+            });
+            prop_assert_eq!(
+                parent.cat, "fragment",
+                "worker-lane span `{}` parents to `{}` ({}), not a fragment span",
+                s.name, parent.name, parent.cat
+            );
+        }
+    }
+}
+
+/// Guard against the proptest above passing vacuously: a scan big enough
+/// to split into many morsels per site must actually record operator spans
+/// on worker lanes.
+#[test]
+fn worker_lanes_record_operator_spans() {
+    let config = ClusterConfig {
+        worker_threads: 3,
+        morsel_rows: 128,
+        ..ClusterConfig::test_default()
+    };
+    let cluster = traced_cluster_with(config, 900, 10);
+    let (result, trace) = cluster.query_traced(0, "SELECT id, val FROM fact WHERE val >= 0");
+    result.expect("traced query");
+    trace.validate().expect("span tree well-formed");
+    let lanes = trace.lanes();
+    let worker_spans = trace
+        .spans()
+        .into_iter()
+        .filter(|s| lanes[s.lane as usize].starts_with("worker @"))
+        .count();
+    assert!(worker_spans > 0, "no operator spans recorded on worker lanes");
 }

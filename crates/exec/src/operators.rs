@@ -1085,6 +1085,77 @@ impl RowSource for HashJoinExec {
     }
 }
 
+/// Probe side of a hash join whose build table is shared, read-only,
+/// across pipeline lanes (morsel-parallel execution): the driver resolves
+/// the build once behind the build barrier, every lane probes the same
+/// [`ColJoinTable`] through the same vectorized [`probe_batch`] path as
+/// [`HashJoinExec`].
+pub struct SharedProbeExec {
+    input: BoxedSource,
+    table: Arc<ColJoinTable>,
+    kind: JoinKind,
+    left_keys: Vec<usize>,
+    residual: Option<Expr>,
+    output: VecDeque<ColumnBatch>,
+    /// Probe rows consumed; flushed to `exec.join.probe_rows` on drop.
+    probed: u64,
+    ctrl: Arc<ControlBlock>,
+}
+
+impl SharedProbeExec {
+    pub fn new(
+        input: BoxedSource,
+        table: Arc<ColJoinTable>,
+        kind: JoinKind,
+        left_keys: Vec<usize>,
+        residual: Expr,
+        ctrl: Arc<ControlBlock>,
+    ) -> SharedProbeExec {
+        let residual = if residual.is_true_literal() { None } else { Some(residual) };
+        SharedProbeExec {
+            input,
+            table,
+            kind,
+            left_keys,
+            residual,
+            output: VecDeque::new(),
+            probed: 0,
+            ctrl,
+        }
+    }
+}
+
+impl Drop for SharedProbeExec {
+    fn drop(&mut self) {
+        if self.probed > 0 {
+            ic_common::obs::MetricsRegistry::global()
+                .counter("exec.join.probe_rows")
+                .add(self.probed);
+        }
+    }
+}
+
+impl RowSource for SharedProbeExec {
+    fn next_batch(&mut self) -> IcResult<Option<ColumnBatch>> {
+        loop {
+            self.ctrl.check()?;
+            if let Some(b) = self.output.pop_front() {
+                return Ok(Some(b));
+            }
+            let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+            self.probed += batch.num_rows() as u64;
+            probe_batch(
+                &self.table,
+                self.kind,
+                &self.left_keys,
+                self.residual.as_ref(),
+                &batch,
+                &mut self.output,
+            )?;
+        }
+    }
+}
+
 /// Merge join: inputs sorted on the keys; buffers both sides and merges
 /// key groups. Row-internal (the key-group walk is inherently sequential);
 /// batches convert at the buffering edge.

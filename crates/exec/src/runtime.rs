@@ -1,11 +1,28 @@
 //! Query runtime: instantiate fragments at their sites (× variants), wire
-//! exchanges through the simulated network, run every instance on its own
-//! thread (§3.2.3's "each fragment is executed in a dedicated thread"),
-//! and collect the root fragment's rows.
+//! exchanges through the simulated network, and collect the root
+//! fragment's rows.
+//!
+//! Each fragment instance has a *driver* thread (§3.2.3's one-thread-per-
+//! fragment model is the degenerate case), but the driver no longer
+//! executes the operator chain by itself: when the chain compiles into a
+//! pipeline ([`crate::pipeline`]) the driver splits its scan input into
+//! morsels and fans lanes out over the site's [`crate::pool::WorkerPool`]
+//! (`ExecOptions::worker_threads` workers per site), keeping for itself
+//! the sequential work — exchange receivers, join build barriers, and the
+//! order-sensitive merge/sort/final-aggregate steps above the parallel
+//! region. Chains that don't fit (row-internal operators, receiver-fed
+//! spines, early-exit limits) run sequentially on the driver exactly as
+//! before; `worker_threads = 0` disables pools entirely and restores the
+//! pre-morsel runtime. Lanes stream into a shared [`InstanceSink`] — the
+//! staging half of [`ExchangeCore`] coalesces sub-batch outputs across
+//! workers the same way the sequential sender coalesced across batches —
+//! and the driver alone sends the exchange EOFs after the drain barrier.
 
 use crate::analyze::{enumerate_ops, OpIndex};
 use crate::fragment::{fragment_plan, ExchangeId, ExchangeRegistry, Sink};
 use crate::operators::*;
+use crate::pipeline;
+use crate::pool::SitePools;
 use crate::variant::{plan_variants, SourceMode, VariantPlan};
 use ic_common::obs::{AttemptStats, SpanId, Trace};
 use ic_common::row::BATCH_SIZE;
@@ -19,6 +36,7 @@ use ic_plan::Distribution;
 use ic_storage::{Catalog, TableDistribution};
 use ic_common::hash::FxHashMap;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,7 +62,20 @@ pub struct ExecOptions {
     /// Parent span (e.g. the coordinator's `attempt` span) for everything
     /// this execution records.
     pub trace_parent: Option<SpanId>,
+    /// Morsel-pool workers **per site**: fragment instances whose chains
+    /// compile into pipelines fan out over this many lanes at their site.
+    /// `0` disables pooled execution entirely (the pre-morsel sequential
+    /// runtime); `1` keeps the pool active with deterministic lane order.
+    pub worker_threads: usize,
+    /// Rows per morsel (the work-stealing granule and the revocation/
+    /// cancellation check interval). Clamped to ≥64.
+    pub morsel_rows: usize,
 }
+
+/// Default morsel size: ~64k rows, i.e. 64 `ColumnBatch`es per morsel —
+/// large enough to amortize scheduling, small enough that steal balancing
+/// and revocation checks stay fine-grained.
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
 
 impl Default for ExecOptions {
     fn default() -> Self {
@@ -56,6 +87,8 @@ impl Default for ExecOptions {
             pool: None,
             trace: None,
             trace_parent: None,
+            worker_threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -201,29 +234,54 @@ fn failover_err(e: FailoverError) -> IcError {
     }
 }
 
-/// The sending side of one fragment instance's sink.
-struct ExchangeSender {
+/// Coalescing buffer shared by an instance's lanes: sub-batch outputs
+/// stage here until a batch-size's worth of rows has accumulated.
+struct Stage {
+    pending: Vec<ColumnBatch>,
+    rows: usize,
+}
+
+/// The sending side of one fragment instance's sink, shared by every lane
+/// of the instance's pipeline (and used solo by sequential drivers). All
+/// methods take `&self`: staging is guarded by a short lock, but batches
+/// are dispatched *outside* it, so concurrent lanes overlap their wire
+/// time (latency + bandwidth sleeps of the simulated network) instead of
+/// serializing behind the stage.
+pub(crate) struct ExchangeCore {
     to: Distribution,
     assignment: Arc<Assignment>,
     /// (consumer site, consumer variant, sender pre-bound to that endpoint)
     endpoints: Vec<(SiteId, usize, NetSender<Msg>)>,
     mode: SourceMode,
-    rr: usize,
-    /// Persistent per-site staging for hash distribution: a handful of
-    /// (site, logical row indices) slots scanned linearly, instead of
-    /// building a fresh `HashMap<SiteId, _>` per batch. Each site's rows
-    /// ship as a selection view over the batch — no row materialization.
-    hash_slots: Vec<(SiteId, Vec<u32>)>,
+    /// Splitter round-robin cursor (atomic: lanes dispatch concurrently).
+    rr: AtomicUsize,
     /// Sub-batch-size outputs (selective filters, sparse join matches)
     /// coalesce here before shipping — the simulated network charges
     /// latency per message, so many tiny batches would otherwise multiply
-    /// the wire cost regardless of payload size.
-    pending: Vec<ColumnBatch>,
-    pending_rows: usize,
+    /// the wire cost regardless of payload size. Coalescing across *lanes*
+    /// is what PR 7's sequential sender did across batches.
+    stage: Mutex<Stage>,
 }
 
-impl ExchangeSender {
+impl ExchangeCore {
+    fn new(
+        to: Distribution,
+        assignment: Arc<Assignment>,
+        endpoints: Vec<(SiteId, usize, NetSender<Msg>)>,
+        mode: SourceMode,
+    ) -> ExchangeCore {
+        ExchangeCore {
+            to,
+            assignment,
+            endpoints,
+            mode,
+            rr: AtomicUsize::new(0),
+            stage: Mutex::named(Stage { pending: Vec::new(), rows: 0 }, "exec.exchange.stage"),
+        }
+    }
+
     /// Attach transfer-span recording to every endpoint (traced queries).
+    /// Called before the core is shared with any lane.
     fn set_obs(&mut self, obs: NetObs) {
         for (_, _, tx) in &mut self.endpoints {
             tx.set_obs(obs.clone());
@@ -241,7 +299,7 @@ impl ExchangeSender {
     /// Ship one batch to a site, honoring the consumer's splitter/
     /// duplicator mode (batch-level round-robin realizes the splitter's
     /// arbitrary disjoint partitioning).
-    fn ship_to_site(&mut self, site: SiteId, batch: ColumnBatch) -> IcResult<()> {
+    fn ship_to_site(&self, site: SiteId, batch: ColumnBatch) -> IcResult<()> {
         let eps = self.endpoints_at(site);
         if eps.is_empty() {
             return Err(IcError::Exec(format!("no exchange endpoint at {site}")));
@@ -253,42 +311,49 @@ impl ExchangeSender {
                 }
             }
             SourceMode::Splitter => {
-                let pick = self.rr % eps.len();
-                let tx = eps[pick];
-                let result = tx.send(Msg::Batch(batch)).map_err(|e| net_err(site, e));
-                drop(eps);
-                self.rr += 1;
-                result?;
+                let pick = self.rr.fetch_add(1, Ordering::Relaxed) % eps.len();
+                eps[pick].send(Msg::Batch(batch)).map_err(|e| net_err(site, e))?;
             }
         }
         Ok(())
     }
 
-    fn send_batch(&mut self, batch: ColumnBatch) -> IcResult<()> {
+    pub(crate) fn send_batch(&self, batch: ColumnBatch) -> IcResult<()> {
         if batch.num_rows() == 0 {
             return Ok(());
         }
-        self.pending_rows += batch.num_rows();
-        self.pending.push(batch);
-        if self.pending_rows >= BATCH_SIZE {
-            self.flush()?;
+        let ready = {
+            let mut stage = self.stage.lock();
+            stage.rows += batch.num_rows();
+            stage.pending.push(batch);
+            if stage.rows >= BATCH_SIZE {
+                stage.rows = 0;
+                Some(std::mem::take(&mut stage.pending))
+            } else {
+                None
+            }
+        };
+        match ready {
+            Some(pending) => self.dispatch(ColumnBatch::concat(&pending)),
+            None => Ok(()),
         }
-        Ok(())
     }
 
-    /// Ship everything staged in `pending` as one dense batch. Called when
-    /// a batch-size's worth of rows has accumulated and once at stream end.
-    fn flush(&mut self) -> IcResult<()> {
-        if self.pending.is_empty() {
+    /// Ship everything still staged as one dense batch — once, by the
+    /// driver, after the drain barrier.
+    pub(crate) fn flush(&self) -> IcResult<()> {
+        let pending = {
+            let mut stage = self.stage.lock();
+            stage.rows = 0;
+            std::mem::take(&mut stage.pending)
+        };
+        if pending.is_empty() {
             return Ok(());
         }
-        let batch = ColumnBatch::concat(&self.pending);
-        self.pending.clear();
-        self.pending_rows = 0;
-        self.dispatch(batch)
+        self.dispatch(ColumnBatch::concat(&pending))
     }
 
-    fn dispatch(&mut self, batch: ColumnBatch) -> IcResult<()> {
+    fn dispatch(&self, batch: ColumnBatch) -> IcResult<()> {
         match &self.to {
             Distribution::Single => {
                 let site = self.endpoints[0].0;
@@ -309,20 +374,19 @@ impl ExchangeSender {
             Distribution::Hash(keys) => {
                 // Vectorized key hashing, then one selection view per
                 // destination site (bit-identical to `Row::hash_key`).
+                // The slots are per-dispatch scratch (a handful of sites,
+                // scanned linearly); each site's rows ship as a selection
+                // view over the batch — no row materialization.
                 let hashes = batch.hash_keys(keys);
+                let mut slots: Vec<(SiteId, Vec<u32>)> = Vec::new();
                 for (k, &hash) in hashes.iter().enumerate().take(batch.num_rows()) {
                     let site = self.assignment.site_for_hash(hash);
-                    match self.hash_slots.iter_mut().find(|(s, _)| *s == site) {
+                    match slots.iter_mut().find(|(s, _)| *s == site) {
                         Some((_, keep)) => keep.push(k as u32),
-                        None => self.hash_slots.push((site, vec![k as u32])),
+                        None => slots.push((site, vec![k as u32])),
                     }
                 }
-                for i in 0..self.hash_slots.len() {
-                    if self.hash_slots[i].1.is_empty() {
-                        continue;
-                    }
-                    let site = self.hash_slots[i].0;
-                    let keep = std::mem::take(&mut self.hash_slots[i].1);
+                for (site, keep) in slots {
                     self.ship_to_site(site, batch.select_logical(&keep))?;
                 }
                 Ok(())
@@ -332,7 +396,7 @@ impl ExchangeSender {
     }
 
     /// Every producer instance signals EOF to every endpoint so receivers
-    /// can count down.
+    /// can count down. Driver-only, after `flush`.
     fn finish(&self) {
         for (_, _, tx) in &self.endpoints {
             let _ = tx.send(Msg::Eof);
@@ -340,8 +404,52 @@ impl ExchangeSender {
     }
 }
 
+/// Where a fragment instance's output rows go. Shared by the instance's
+/// driver and all its pipeline lanes; both variants are safe for
+/// concurrent pushes.
+#[derive(Clone)]
+pub(crate) enum InstanceSink {
+    /// Non-root instances: into the exchange's shared coalescing stage.
+    Exchange(Arc<ExchangeCore>),
+    /// The root instance: straight into the client rowset.
+    Rows(Arc<Mutex<Vec<Row>>>),
+}
+
+impl InstanceSink {
+    pub(crate) fn push(&self, batch: ColumnBatch) -> IcResult<()> {
+        match self {
+            InstanceSink::Exchange(core) => core.send_batch(batch),
+            InstanceSink::Rows(rows) => {
+                let mut b = batch.to_rows();
+                rows.lock().append(&mut b);
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain a sequential source into the sink. The rowset side pulls in
+    /// row format (`next_rows`) so row-native chains skip the column
+    /// round-trip, exactly as the pre-pool root driver did.
+    pub(crate) fn drain_from(&self, mut src: BoxedSource) -> IcResult<()> {
+        match self {
+            InstanceSink::Exchange(core) => {
+                while let Some(b) = src.next_batch()? {
+                    core.send_batch(b)?;
+                }
+                Ok(())
+            }
+            InstanceSink::Rows(rows) => {
+                while let Some(mut b) = src.next_rows()? {
+                    rows.lock().append(&mut b);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// The receiving end of an exchange inside a fragment instance.
-struct ReceiverSource {
+pub(crate) struct ReceiverSource {
     rx: NetReceiver<Msg>,
     remaining_eofs: usize,
     ctrl: Arc<ControlBlock>,
@@ -406,28 +514,30 @@ impl RowSource for ReceiverSource {
     }
 }
 
-/// Per-instance build context.
-struct BuildCtx<'a> {
-    catalog: &'a Catalog,
+/// Per-instance build context. Shared with [`crate::pipeline`], which
+/// borrows it on the driver thread to resolve build sides, split scans
+/// into morsels, and construct per-lane operator chains.
+pub(crate) struct BuildCtx<'a> {
+    pub(crate) catalog: &'a Catalog,
     /// The surviving-site partition map this query attempt executes under.
-    assignment: &'a Assignment,
-    site: SiteId,
-    vid: usize,
-    nvariants: usize,
-    vplan: &'a VariantPlan,
-    registry: &'a ExchangeRegistry,
-    receivers: FxHashMap<ExchangeId, ReceiverSource>,
-    ctrl: Arc<ControlBlock>,
+    pub(crate) assignment: &'a Assignment,
+    pub(crate) site: SiteId,
+    pub(crate) vid: usize,
+    pub(crate) nvariants: usize,
+    pub(crate) vplan: &'a VariantPlan,
+    pub(crate) registry: &'a ExchangeRegistry,
+    pub(crate) receivers: FxHashMap<ExchangeId, ReceiverSource>,
+    pub(crate) ctrl: Arc<ControlBlock>,
     /// Plan-node index for tracing; `None` when the query is untraced.
-    obs_index: Option<Arc<OpIndex>>,
-    /// Trace lane of this fragment instance's thread.
-    lane: u32,
+    pub(crate) obs_index: Option<Arc<OpIndex>>,
+    /// Trace lane of this fragment instance's driver thread.
+    pub(crate) lane: u32,
     /// The fragment-instance span every operator span parents to.
-    parent_span: Option<SpanId>,
+    pub(crate) parent_span: Option<SpanId>,
 }
 
 impl BuildCtx<'_> {
-    fn split_for(&self, mode: SourceMode) -> Option<(usize, usize)> {
+    pub(crate) fn split_for(&self, mode: SourceMode) -> Option<(usize, usize)> {
         if self.nvariants > 1 && mode == SourceMode::Splitter {
             Some((self.vid, self.nvariants))
         } else {
@@ -435,7 +545,10 @@ impl BuildCtx<'_> {
         }
     }
 
-    fn table_partitions(&self, table: ic_storage::TableId) -> IcResult<Vec<Arc<Vec<Row>>>> {
+    pub(crate) fn table_partitions(
+        &self,
+        table: ic_storage::TableId,
+    ) -> IcResult<Vec<Arc<Vec<Row>>>> {
         let def = self
             .catalog
             .table_def(table)
@@ -465,7 +578,7 @@ impl BuildCtx<'_> {
         })
     }
 
-    fn build(&mut self, node: &Arc<PhysPlan>) -> IcResult<BoxedSource> {
+    pub(crate) fn build(&mut self, node: &Arc<PhysPlan>) -> IcResult<BoxedSource> {
         let src: BoxedSource = match &node.op {
             PhysOp::TableScan { table, .. } => {
                 let mode = self.vplan.scan_mode(node);
@@ -700,6 +813,11 @@ pub fn execute_plan(
     }
 
     // --- spawn non-root fragment instances ------------------------------
+    // One lazily-populated worker pool per site for this execution; `None`
+    // (worker_threads = 0) keeps every fragment on the sequential path.
+    let pools: Option<Arc<SitePools>> = (opts.worker_threads > 0)
+        .then(|| Arc::new(SitePools::new(opts.worker_threads, opts.trace.clone())));
+    let morsel_rows = opts.morsel_rows;
     let error_slot: Arc<Mutex<Option<IcError>>> = Arc::new(Mutex::named(None, "exec.error_slot"));
     let mut handles: Vec<(usize, SiteId, usize, std::thread::JoinHandle<()>)> = Vec::new();
     let mut threads = 0usize;
@@ -737,16 +855,8 @@ pub fn execute_plan(
                     .iter()
                     .map(|(s, v, tx)| (*s, *v, tx.with_src(site).with_abort(abort.clone())))
                     .collect();
-                let mut sender = ExchangeSender {
-                    to: to.clone(),
-                    assignment: assignment.clone(),
-                    endpoints,
-                    mode: consumer_mode,
-                    rr: 0,
-                    hash_slots: Vec::new(),
-                    pending: Vec::new(),
-                    pending_rows: 0,
-                };
+                let mut core =
+                    ExchangeCore::new(to.clone(), assignment.clone(), endpoints, consumer_mode);
                 let root = fragment.root.clone();
                 let catalog = catalog.clone();
                 let registry = registry.clone();
@@ -756,6 +866,7 @@ pub fn execute_plan(
                 let error_slot = error_slot.clone();
                 let assignment2 = assignment.clone();
                 let obs_thread = obs_ctx.clone();
+                let pools2 = pools.clone();
                 handles.push((fi, site, vid, std::thread::spawn(move || {
                     // One trace lane + fragment span per instance thread;
                     // declared before `run` so it closes after every
@@ -774,12 +885,14 @@ pub fn execute_plan(
                         None => (Trace::COORD_LANE, None),
                     };
                     if let Some((o, _)) = &obs_thread {
-                        sender.set_obs(NetObs {
+                        core.set_obs(NetObs {
                             trace: o.trace.clone(),
                             lane,
                             parent: frag_span.as_ref().map(|g| g.id()),
                         });
                     }
+                    let core = Arc::new(core);
+                    let sink = InstanceSink::Exchange(core.clone());
                     let run = || -> IcResult<()> {
                         let mut ctx = BuildCtx {
                             catalog: &catalog,
@@ -795,14 +908,17 @@ pub fn execute_plan(
                             lane,
                             parent_span: frag_span.as_ref().map(|g| g.id()),
                         };
-                        let mut src = ctx.build(&root)?;
-                        while let Some(batch) = src.next_batch()? {
-                            sender.send_batch(batch)?;
-                        }
-                        sender.flush()
+                        pipeline::run_instance(
+                            &mut ctx,
+                            &root,
+                            pools2.as_deref(),
+                            morsel_rows,
+                            &sink,
+                        )?;
+                        core.flush()
                     };
                     match run() {
-                        Ok(()) => sender.finish(),
+                        Ok(()) => core.finish(),
                         // ic-lint: allow(L009) because the enclosing loop spawns one worker per fragment lane; this arm records the first error and cancels the query, it never re-runs the failed work
                         Err(e) => {
                             // A worker that merely observed cancellation is
@@ -869,8 +985,12 @@ pub fn execute_plan(
             lane: Trace::COORD_LANE,
             parent_span: root_span.as_ref().map(|g| g.id()),
         };
-        let src = ctx.build(&root.root)?;
-        drain(src)
+        let collected: Arc<Mutex<Vec<Row>>> =
+            Arc::new(Mutex::named(Vec::new(), "exec.root_rows"));
+        let sink = InstanceSink::Rows(collected.clone());
+        pipeline::run_instance(&mut ctx, &root.root, pools.as_deref(), morsel_rows, &sink)?;
+        let rows = std::mem::take(&mut *collected.lock());
+        Ok(rows)
     })();
     drop(root_span);
 
@@ -951,10 +1071,14 @@ pub fn execute_plan(
             root_result = Err(IcError::ExecTimeout { limit_ms });
         }
     }
+    // Pool workers joined before stats: spawned() is final, and worker
+    // trace lanes are quiesced before the trace is read.
+    let pool_threads = pools.as_ref().map_or(0, |p| p.spawned());
+    drop(pools);
     let peak_buffered_rows = ctrl.lease().peak_used();
     if let Some(g) = &mut exec_span {
         g.arg("fragments", fragments.len() as u64);
-        g.arg("threads", threads as u64 + 1);
+        g.arg("threads", (threads + pool_threads) as u64 + 1);
         g.arg("peak_buffered_cells", peak_buffered_rows);
     }
     drop(exec_span);
@@ -964,7 +1088,7 @@ pub fn execute_plan(
         rows,
         QueryStats {
             fragments: fragments.len(),
-            threads: threads + 1,
+            threads: threads + pool_threads + 1,
             net_messages: msgs1 - msgs0,
             net_bytes: bytes1 - bytes0,
             elapsed: start.elapsed(),

@@ -173,6 +173,13 @@ impl Env {
                 network: NetworkConfig::instant(),
                 exec_timeout: Some(Duration::from_secs(60)),
                 memory_limit_rows: 20_000_000,
+                // Force multi-lane morsel execution with tiny morsels:
+                // every query in the battery exercises work stealing and
+                // the parallel operators, regardless of host core count.
+                // The oracles compare unordered (or LIMIT-count only), so
+                // nondeterministic lane interleaving is fine.
+                worker_threads: 3,
+                morsel_rows: 512,
                 ..ClusterConfig::default()
             };
             let cluster = Cluster::new(config);
